@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at CI scale
+and prints the measured rows next to the paper's values. Traces and
+baseline runs are session-cached so figures that share a workload don't
+recompute them.
+"""
+
+import pytest
+
+from repro.params import ScalePreset
+from repro.sim import SimConfig, simulate
+from repro.workloads import standard_trace
+
+#: Thread counts used by the benches (CI scale).
+BENCH_THREADS = 48
+
+
+@pytest.fixture(scope="session")
+def traces():
+    """CI-scale traces for the four Table 1 workloads."""
+    return {
+        name: standard_trace(name, ScalePreset.CI, n_threads=BENCH_THREADS)
+        for name in ("tpcc-1", "tpcc-10", "tpce", "mapreduce")
+    }
+
+
+@pytest.fixture(scope="session")
+def results_cache():
+    """Session-wide memo of simulation results keyed by (workload, cfg)."""
+    return {}
+
+
+@pytest.fixture(scope="session")
+def run_sim(traces, results_cache):
+    """Memoised simulation runner: run_sim(workload, variant, **cfg)."""
+
+    def run(workload, variant, **cfg_kwargs):
+        key = (workload, variant, tuple(sorted(cfg_kwargs.items())))
+        if key not in results_cache:
+            config = SimConfig(variant=variant, **cfg_kwargs)
+            results_cache[key] = simulate(traces[workload], config=config)
+        return results_cache[key]
+
+    return run

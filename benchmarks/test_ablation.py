@@ -1,0 +1,110 @@
+"""Ablation — design choices DESIGN.md calls out, quantified.
+
+Not a paper figure: quantifies the engine's two scheduler knobs
+(idle-core work stealing, and whether a steal lets the idle core adopt
+the stolen thread's segment) on the I-MPKI / utilisation trade-off that
+dominates SLICC's behaviour at sub-paper trace scales.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+
+CONFIGS = [
+    ("no stealing", dict(work_stealing=False)),
+    ("steal, frozen target", dict(work_stealing=True, steal_resets_mc=False)),
+    ("steal, adopt segment", dict(work_stealing=True, steal_resets_mc=True)),
+]
+
+
+@pytest.mark.parametrize("workload", ["tpcc-1"])
+def test_ablation_scheduler_knobs(benchmark, run_sim, workload):
+    def run():
+        out = {}
+        for label, cfg in CONFIGS:
+            out[label] = run_sim(workload, "slicc", **cfg)
+        out["base"] = run_sim(workload, "base")
+        return out
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    base = results["base"]
+    rows = []
+    for label, _ in CONFIGS:
+        r = results[label]
+        rows.append(
+            [
+                label,
+                r.i_mpki,
+                r.speedup_over(base),
+                r.utilization,
+                r.migrations,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["config", "I-MPKI", "speedup", "utilisation", "migrations"],
+            rows,
+            title=f"Ablation — {workload}",
+        )
+    )
+    no_steal = results["no stealing"]
+    stealing = results["steal, frozen target"]
+    # The documented trade-off: stealing buys utilisation at some MPKI.
+    assert stealing.utilization > no_steal.utilization
+    assert no_steal.i_mpki <= stealing.i_mpki
+
+
+def test_ablation_mono_type_collective(benchmark):
+    """The clean Figure 4 regime: one transaction type, staggered
+    arrivals, no stealing. The first threads assemble the collective and
+    followers ride it — the engine must reach the paper's I-MPKI
+    reduction magnitude (>50%) here, demonstrating the mechanism works
+    and that the weaker full-mix numbers are a scale/mix effect."""
+    from repro.params import SliccParams
+    from repro.sim import SimConfig, simulate
+    from repro.workloads import (
+        DataSpec,
+        PathStep,
+        TransactionTypeSpec,
+        WorkloadSpec,
+        generate_trace,
+        layout_segments,
+    )
+
+    segments = layout_segments([448] * 6)
+    path = tuple(
+        PathStep(seg_id=i % 6, inner_iterations=2)
+        for i in (0, 1, 2, 3, 4, 5, 0, 2, 4, 0)
+    )
+    spec = WorkloadSpec(
+        name="mono",
+        segments=tuple(segments),
+        txn_types=(
+            TransactionTypeSpec(type_id=0, name="T", weight=1.0, path=path),
+        ),
+        data=DataSpec(),
+    )
+    trace = generate_trace(spec, n_threads=24, seed=3)
+
+    def run():
+        base = simulate(trace, variant="base")
+        slicc = simulate(
+            trace,
+            config=SimConfig(
+                variant="slicc",
+                slicc=SliccParams(dilution_t=10),
+                work_stealing=False,
+            ),
+        )
+        return base, slicc
+
+    base, slicc = benchmark.pedantic(run, iterations=1, rounds=1)
+    reduction = 1 - slicc.i_mpki / base.i_mpki
+    print()
+    print(
+        f"mono-type collective: I-MPKI {base.i_mpki:.2f} -> "
+        f"{slicc.i_mpki:.2f} ({reduction:.0%} cut; paper's full-mix "
+        f"figure is 56-61%)"
+    )
+    assert reduction > 0.5

@@ -1,0 +1,88 @@
+"""Extensions — STEPS comparison and the Section 5.5 data-prefetch
+negative result.
+
+STEPS (Harizopoulos & Ailamaki; the paper's Section 6 software
+alternative) time-multiplexes same-type threads on one core instead of
+migrating them across cores: instruction misses drop *without* the data
+miss penalty SLICC pays, but core utilisation suffers because teams
+serialise. The paper proposes combining STEPS's time-domain pipelining
+with SLICC's space-domain pipelining as future work; this bench puts the
+two on one axis.
+
+The data-prefetch experiment reproduces the paper's reported negative
+result: shipping the last-n data block tags with a migrating thread does
+not improve performance.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.sim import SimConfig, simulate
+
+
+def test_ext_steps_vs_slicc(benchmark, traces):
+    trace = traces["tpcc-1"]
+
+    def run():
+        # Synchronised arrivals: STEPS multiplexing assumes same-phase
+        # peers (its teams execute chunk k together by construction).
+        base = simulate(
+            trace, config=SimConfig(variant="base", arrival_spacing=0)
+        )
+        steps = simulate(
+            trace, config=SimConfig(variant="steps", arrival_spacing=0)
+        )
+        sw = simulate(
+            trace, config=SimConfig(variant="slicc-sw", arrival_spacing=0)
+        )
+        return base, steps, sw
+
+    base, steps, sw = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        ["base", base.i_mpki, base.d_mpki, 1.0, 0],
+        [
+            "steps",
+            steps.i_mpki,
+            steps.d_mpki,
+            steps.speedup_over(base),
+            steps.context_switches,
+        ],
+        [
+            "slicc-sw",
+            sw.i_mpki,
+            sw.d_mpki,
+            sw.speedup_over(base),
+            sw.migrations,
+        ],
+    ]
+    print()
+    print(
+        format_table(
+            ["scheme", "I-MPKI", "D-MPKI", "speedup", "switches/migrations"],
+            rows,
+            title="Extension — STEPS (time-domain) vs SLICC (space-domain)",
+        )
+    )
+    # STEPS's signature: instruction misses drop with no data-miss cost.
+    assert steps.i_mpki < base.i_mpki
+    assert steps.d_mpki <= base.d_mpki * 1.02
+    assert steps.migrations == 0
+
+
+@pytest.mark.parametrize("n", [0, 8, 32])
+def test_ext_migration_data_prefetch(benchmark, traces, n):
+    """Section 5.5: the last-n data prefetcher does not help."""
+    trace = traces["tpcc-1"]
+
+    def run():
+        return simulate(
+            trace, config=SimConfig(variant="slicc", data_prefetch_n=n)
+        )
+
+    result = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(
+        f"\nn={n}: cycles={result.cycles} D-MPKI={result.d_mpki:.2f} "
+        f"(paper: prefetching did not improve performance; past a value "
+        f"of n it hurts)"
+    )
+    assert result.threads_completed == len(trace.threads)

@@ -1,0 +1,53 @@
+"""Figure 7 — I/D-MPKI and speedup vs fill-up_t x matched_t.
+
+Paper result: performance is largely insensitive to fill-up_t (it only
+shapes warm-up); matched_t beyond ~4 limits migration and erodes the
+benefit, while matched_t = 2 migrates too often. The paper runs this
+plane with dilution_t = 0.
+"""
+
+import pytest
+
+from repro.analysis import format_table, sweep_fillup_matched
+from repro.sim import simulate
+
+FILL_VALUES = (128, 256, 384, 512)
+MATCH_VALUES = (2, 4, 6, 8, 10)
+
+
+@pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
+def test_fig07_grid(benchmark, traces, run_sim, workload):
+    trace = traces[workload]
+    baseline = run_sim(workload, "base")
+
+    def run():
+        return sweep_fillup_matched(
+            trace,
+            fill_up_values=FILL_VALUES,
+            matched_values=MATCH_VALUES,
+            baseline=baseline,
+        )
+
+    points = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        [p.fill_up_t, p.matched_t, p.i_mpki, p.d_mpki, p.speedup, p.migrations]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup", "migs"],
+            rows,
+            title=f"Figure 7 — {workload} (dilution_t=0)",
+        )
+    )
+    # Shape checks: fill-up_t insensitivity (spread of speedups across
+    # fill-up at the paper's matched_t=4 stays small)...
+    at_match4 = [p.speedup for p in points if p.matched_t == 4]
+    assert max(at_match4) - min(at_match4) < 0.35
+    # ...and larger matched_t migrates less.
+    migs_by_match = {
+        m: sum(p.migrations for p in points if p.matched_t == m)
+        for m in MATCH_VALUES
+    }
+    assert migs_by_match[10] < migs_by_match[2]

@@ -1,0 +1,42 @@
+"""Figure 8 — I/D-MPKI and speedup vs dilution_t.
+
+Paper result: raising dilution_t first improves performance (fewer,
+better-timed migrations), peaks around 10, then degrades as migration
+becomes too restricted; migration counts fall monotonically.
+"""
+
+import pytest
+
+from repro.analysis import format_table, sweep_dilution
+
+DILUTION_VALUES = tuple(range(2, 31, 4))
+
+
+@pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
+def test_fig08_dilution_sweep(benchmark, traces, run_sim, workload):
+    trace = traces[workload]
+    baseline = run_sim(workload, "base")
+
+    def run():
+        return sweep_dilution(
+            trace, dilution_values=DILUTION_VALUES, baseline=baseline
+        )
+
+    points = benchmark.pedantic(run, iterations=1, rounds=1)
+    rows = [
+        [p.dilution_t, p.i_mpki, p.d_mpki, p.speedup, p.migrations]
+        for p in points
+    ]
+    print()
+    print(
+        format_table(
+            ["dilution_t", "I-MPKI", "D-MPKI", "speedup", "migrations"],
+            rows,
+            title=f"Figure 8 — {workload} (fill-up_t=256, matched_t=4)",
+        )
+    )
+    # Shape: migrations fall monotonically (allowing small noise).
+    migs = [p.migrations for p in points]
+    assert migs[-1] < migs[0]
+    # D-MPKI falls as migration is restricted.
+    assert points[-1].d_mpki <= points[0].d_mpki + 0.5

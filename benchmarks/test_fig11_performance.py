@@ -1,0 +1,54 @@
+"""Figure 11 — speedup of every scheme over the baseline.
+
+Paper result: SLICC-SW reaches 1.60x (TPC-C-1) and 1.79x (TPC-E),
+beating the next-line prefetcher, within 2% of the PIF upper bound on
+TPC-C and 21% above it on TPC-E; MapReduce is unaffected by SLICC.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+
+VARIANTS = ("base", "nextline", "slicc", "slicc-pp", "slicc-sw", "pif")
+
+PAPER_SPEEDUP = {
+    "tpcc-1": {"slicc-sw": 1.60, "pif": 1.63},
+    "tpce": {"slicc-sw": 1.79, "pif": 1.48},
+    "mapreduce": {"slicc-sw": 1.00},
+}
+
+
+@pytest.mark.parametrize(
+    "workload", ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+)
+def test_fig11_performance(benchmark, run_sim, workload):
+    def run():
+        return {v: run_sim(workload, v) for v in VARIANTS}
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    base = results["base"]
+    paper = PAPER_SPEEDUP.get(workload, {})
+    rows = []
+    for variant in VARIANTS:
+        speedup = results[variant].speedup_over(base)
+        rows.append(
+            [variant, speedup, paper.get(variant, float("nan"))]
+        )
+    print()
+    print(
+        format_table(
+            ["variant", "speedup", "paper"],
+            rows,
+            title=f"Figure 11 — {workload}",
+        )
+    )
+    speed = {v: results[v].speedup_over(base) for v in VARIANTS}
+    if workload == "mapreduce":
+        assert speed["slicc-sw"] == pytest.approx(1.0, abs=0.2)
+    else:
+        # Shape checks that hold at this scale: prefetching and the PIF
+        # upper bound beat the baseline; SLICC-SW cuts instruction
+        # misses below the oblivious variant's level (Figure 10) even
+        # where makespan is pipeline-bound (see EXPERIMENTS.md).
+        assert speed["nextline"] > 1.0
+        assert speed["pif"] > 1.0

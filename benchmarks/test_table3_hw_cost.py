@@ -1,0 +1,38 @@
+"""Table 3 — SLICC hardware storage costs.
+
+Paper result: 60b MTQ + 100b MSV + 2Kb signature = 2208b per-core cache
+monitor; 1920b thread queue; 3600b team table; 7728 bits = 966 bytes in
+total, i.e. 2.4% of PIF's ~40KB per core.
+"""
+
+from repro.analysis import format_table
+from repro.core import slicc_hardware_cost
+from repro.params import SliccParams
+
+
+def test_table3_storage(benchmark):
+    cost = benchmark.pedantic(
+        lambda: slicc_hardware_cost(SliccParams(), n_cores=16),
+        iterations=1,
+        rounds=1,
+    )
+    rows = [
+        ["Missed-Tag Queue", cost.mtq_bits, 60],
+        ["Miss Shift-Vector", cost.msv_bits, 100],
+        ["Cache Signature", cost.signature_bits, 2048],
+        ["Cache Monitor subtotal", cost.cache_monitor_bits, 2208],
+        ["Thread Queue", cost.thread_queue_bits, 1920],
+        ["Team Table", cost.team_table_bits, 3600],
+        ["Grand Total (bits)", cost.total_bits, 7728],
+        ["Grand Total (bytes)", cost.total_bytes, 966],
+    ]
+    print()
+    print(
+        format_table(
+            ["component", "measured", "paper"], rows, title="Table 3"
+        )
+    )
+    print(f"relative to PIF storage: {cost.relative_to_pif:.3%} (paper 2.4%)")
+    assert cost.total_bits == 7728
+    assert cost.total_bytes == 966
+    assert 0.02 < cost.relative_to_pif < 0.03

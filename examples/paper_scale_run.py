@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Paper-scale run: the closest feasible approximation of Section 5.1.
+
+The paper simulates 1K tasks (~1.1B instructions) per workload. The CI
+benchmarks use 48 tasks to stay inside minutes; this script runs the
+``PAPER`` preset (256 tasks, ~20M instructions per workload) so warm-up
+and collective churn amortise the way the paper's longer traces allow.
+Expect on the order of an hour for the full matrix on a laptop.
+
+Run:  python examples/paper_scale_run.py [workload ...]
+"""
+
+import sys
+import time
+
+import repro
+from repro.analysis import format_table
+
+VARIANTS = ("base", "nextline", "slicc", "slicc-pp", "slicc-sw", "pif")
+
+
+def run_workload(name: str) -> None:
+    print(f"\n=== {name} (PAPER scale) ===")
+    t0 = time.time()
+    trace = repro.standard_trace(name, repro.ScalePreset.PAPER)
+    print(
+        f"trace: {len(trace.threads)} threads, "
+        f"{trace.total_instructions:,} instructions "
+        f"({time.time() - t0:.0f}s to generate)"
+    )
+    rows = []
+    base = None
+    for variant in VARIANTS:
+        t0 = time.time()
+        result = repro.simulate(trace, variant=variant)
+        if variant == "base":
+            base = result
+        rows.append(
+            [
+                variant,
+                result.i_mpki,
+                result.d_mpki,
+                result.speedup_over(base),
+                result.migrations,
+                f"{time.time() - t0:.0f}s",
+            ]
+        )
+        print(f"  {variant}: done in {rows[-1][-1]}")
+    print(
+        format_table(
+            ["variant", "I-MPKI", "D-MPKI", "speedup", "migrations", "wall"],
+            rows,
+            title=f"{name} — paper-scale results",
+        )
+    )
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+    for name in workloads:
+        run_workload(name)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate TPC-C under the baseline and SLICC-SW.
+
+Generates a small TPC-C trace, replays it on the 16-core Table 2
+machine under the OS baseline and under SLICC-SW, and prints the
+headline metrics of the paper: I-MPKI, D-MPKI and speedup.
+
+Run:  python examples/quickstart.py
+"""
+
+import repro
+
+
+def main() -> None:
+    print("Generating a TPC-C trace (CI scale, 32 transactions)...")
+    trace = repro.standard_trace(
+        "tpcc-1", repro.ScalePreset.CI, n_threads=32, seed=42
+    )
+    print(
+        f"  {len(trace.threads)} threads, {trace.total_records:,} access "
+        f"records, {trace.total_instructions:,} instructions\n"
+    )
+
+    print("Simulating the baseline (OS scheduling, no migration)...")
+    base = repro.simulate(trace, variant="base")
+    print(f"  {base.summary()}\n")
+
+    print("Simulating SLICC-SW (type-aware thread migration)...")
+    sw = repro.simulate(trace, variant="slicc-sw")
+    print(f"  {sw.summary()}\n")
+
+    print("Paper headline metrics:")
+    print(f"  I-MPKI: {base.i_mpki:6.2f} -> {sw.i_mpki:6.2f} "
+          f"({1 - sw.i_mpki / base.i_mpki:+.0%})")
+    print(f"  D-MPKI: {base.d_mpki:6.2f} -> {sw.d_mpki:6.2f} "
+          f"({sw.d_mpki / base.d_mpki - 1:+.0%})")
+    print(f"  speedup over baseline: {sw.speedup_over(base):.2f}x")
+    print(f"  migrations: {sw.migrations} "
+          f"(~{sw.instructions_per_migration():,.0f} instructions apart)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Replacement-policy study: reproduce the Figure 2 comparison.
+
+Runs TPC-C with each of the seven L1-I replacement policies the paper
+evaluates (LRU, LIP, BIP, DIP, SRRIP, BRRIP, DRRIP) and shows that none
+recovers more than a sliver of the misses a bigger cache (or SLICC)
+would — the motivation for thread migration.
+
+Run:  python examples/replacement_policies.py
+"""
+
+import repro
+from repro.analysis import format_table
+from repro.params import CacheParams, SystemParams
+from repro.sim import SimConfig
+
+
+def main() -> None:
+    trace = repro.standard_trace(
+        "tpcc-1", repro.ScalePreset.CI, n_threads=32, seed=5
+    )
+    rows = []
+    lru_mpki = None
+    for policy in ("lru", "lip", "bip", "dip", "srrip", "brrip", "drrip"):
+        system = SystemParams(l1i=CacheParams(policy=policy))
+        result = repro.simulate(
+            trace, config=SimConfig(variant="base", system=system)
+        )
+        if policy == "lru":
+            lru_mpki = result.i_mpki
+        rows.append(
+            [policy, result.i_mpki, 1 - result.i_mpki / lru_mpki]
+        )
+    print(
+        format_table(
+            ["policy", "I-MPKI", "vs LRU"],
+            rows,
+            title="Figure 2 on TPC-C (paper: best policy ~8% below LRU)",
+        )
+    )
+
+    # Contrast with what SLICC-SW recovers on the same trace.
+    base = repro.simulate(trace, variant="base")
+    sw = repro.simulate(trace, variant="slicc-sw")
+    print(
+        f"\nSLICC-SW on the same trace: I-MPKI {base.i_mpki:.2f} -> "
+        f"{sw.i_mpki:.2f} ({1 - sw.i_mpki / base.i_mpki:.0%} reduction) — "
+        "replacement policies alone cannot get there."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Analysis helpers: reuse breakdowns, parameter sweeps, report tables."""
+
+from repro.analysis.report import format_table, paper_vs_measured
+from repro.analysis.reuse import (
+    ReuseBreakdown,
+    global_reuse,
+    per_transaction_reuse,
+)
+from repro.analysis.sweeps import (
+    SweepPoint,
+    sweep_dilution,
+    sweep_fillup_matched,
+)
+
+__all__ = [
+    "ReuseBreakdown",
+    "SweepPoint",
+    "format_table",
+    "global_reuse",
+    "paper_vs_measured",
+    "per_transaction_reuse",
+    "sweep_dilution",
+    "sweep_fillup_matched",
+]

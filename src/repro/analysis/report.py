@@ -1,0 +1,51 @@
+"""Plain-text table formatting for benchmark reports.
+
+Every benchmark prints the rows/series the corresponding paper figure or
+table reports; these helpers keep the output format uniform so
+EXPERIMENTS.md can quote it directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned monospace table.
+
+    Floats are shown with 3 decimals; everything else via ``str``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    metric: str, paper_value: float, measured: float
+) -> str:
+    """One-line paper-vs-measured comparison used across benches."""
+    return (
+        f"{metric}: paper={paper_value:.3f} measured={measured:.3f} "
+        f"(ratio {measured / paper_value:.2f})"
+        if paper_value
+        else f"{metric}: paper=n/a measured={measured:.3f}"
+    )

@@ -1,0 +1,105 @@
+"""Parameter-sweep helpers for the Section 5.2 threshold studies.
+
+Each sweep runs the same trace under a family of SLICC configurations and
+returns one row per point with the metrics the paper plots: I-MPKI,
+D-MPKI and speedup relative to a shared baseline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+from typing import Iterable, Optional
+
+from repro.params import SliccParams
+from repro.sim.engine import SimConfig, simulate
+from repro.sim.results import SimulationResult
+from repro.workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration point of a sweep with its measured metrics."""
+
+    label: str
+    fill_up_t: int
+    matched_t: int
+    dilution_t: int
+    i_mpki: float
+    d_mpki: float
+    speedup: float
+    migrations: int
+
+
+def _run_point(
+    trace: Trace,
+    baseline: SimulationResult,
+    slicc: SliccParams,
+    variant: str,
+    label: str,
+) -> SweepPoint:
+    result = simulate(trace, config=SimConfig(variant=variant, slicc=slicc))
+    return SweepPoint(
+        label=label,
+        fill_up_t=slicc.fill_up_t,
+        matched_t=slicc.matched_t,
+        dilution_t=slicc.dilution_t,
+        i_mpki=result.i_mpki,
+        d_mpki=result.d_mpki,
+        speedup=result.speedup_over(baseline),
+        migrations=result.migrations,
+    )
+
+
+def sweep_fillup_matched(
+    trace: Trace,
+    fill_up_values: Iterable[int] = (128, 256, 384, 512),
+    matched_values: Iterable[int] = (2, 4, 6, 8, 10),
+    variant: str = "slicc-sw",
+    baseline: Optional[SimulationResult] = None,
+) -> list[SweepPoint]:
+    """The Figure 7 grid: fill-up_t x matched_t with dilution_t = 0.
+
+    The paper explores this plane with dilution disabled (Section 5.2).
+    """
+    if baseline is None:
+        baseline = simulate(trace, variant="base")
+    points = []
+    for fill_up in fill_up_values:
+        for matched in matched_values:
+            slicc = SliccParams(
+                fill_up_t=fill_up, matched_t=matched, dilution_t=0
+            )
+            points.append(
+                _run_point(
+                    trace,
+                    baseline,
+                    slicc,
+                    variant,
+                    label=f"fill={fill_up},match={matched}",
+                )
+            )
+    return points
+
+
+def sweep_dilution(
+    trace: Trace,
+    dilution_values: Iterable[int] = tuple(range(2, 31, 2)),
+    fill_up_t: int = 256,
+    matched_t: int = 4,
+    variant: str = "slicc-sw",
+    baseline: Optional[SimulationResult] = None,
+) -> list[SweepPoint]:
+    """The Figure 8 line: dilution_t sweep at the Figure 7 optimum."""
+    if baseline is None:
+        baseline = simulate(trace, variant="base")
+    points = []
+    for dilution in dilution_values:
+        slicc = SliccParams(
+            fill_up_t=fill_up_t, matched_t=matched_t, dilution_t=dilution
+        )
+        points.append(
+            _run_point(
+                trace, baseline, slicc, variant, label=f"dilution={dilution}"
+            )
+        )
+    return points

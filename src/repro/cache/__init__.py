@@ -1,0 +1,21 @@
+"""Cache substrate: set-associative caches, replacement policies, miss
+classification and a CACTI-like latency model.
+
+This package is the foundation the whole reproduction stands on. Both the
+baseline machine and SLICC use :class:`SetAssociativeCache` for L1-I and
+L1-D; the Figure 1 and Figure 2 experiments drive it directly.
+"""
+
+from repro.cache.cache import AccessResult, SetAssociativeCache
+from repro.cache.cacti import latency_for_size
+from repro.cache.classify import MissClass, MissClassifier
+from repro.cache.stats import CacheStats
+
+__all__ = [
+    "AccessResult",
+    "SetAssociativeCache",
+    "CacheStats",
+    "MissClass",
+    "MissClassifier",
+    "latency_for_size",
+]

@@ -1,0 +1,189 @@
+"""Set-associative cache model.
+
+Addresses are **block ids** (byte address >> 6); the caller strips the
+block offset once when generating traces, which keeps the hot loop free of
+shifts. The set index is the low bits of the block id and the stored key
+is the full block id, so aliasing is impossible regardless of tag width.
+
+The model is purely functional w.r.t. contents — there is no notion of
+dirtiness or writeback traffic because the paper's experiments only count
+misses, evictions and invalidations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.cache.policies import make_policy
+from repro.cache.stats import CacheStats
+from repro.params import CacheParams
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache reference.
+
+    Attributes:
+        hit: whether the reference hit.
+        victim: block id evicted to make room, or ``None`` when the fill
+            landed in an empty way (or the reference hit).
+    """
+
+    hit: bool
+    victim: Optional[int] = None
+
+
+#: Signature of an eviction observer: ``callback(evicted_block_id)``.
+EvictionCallback = Callable[[int], None]
+
+
+class SetAssociativeCache:
+    """A single set-associative cache with a pluggable replacement policy.
+
+    Args:
+        params: geometry/latency/policy bundle.
+        name: label used in reports (e.g. ``"core3.l1i"``).
+        on_evict: optional observer invoked with every evicted block id —
+            the SLICC bloom signature and the coherence directory hook in
+            here.
+    """
+
+    def __init__(
+        self,
+        params: CacheParams,
+        name: str = "cache",
+        on_evict: Optional[EvictionCallback] = None,
+    ) -> None:
+        self.params = params
+        self.name = name
+        self.n_sets = params.n_sets
+        self.assoc = params.assoc
+        self._set_mask = self.n_sets - 1
+        self._tags: list[list[Optional[int]]] = [
+            [None] * self.assoc for _ in range(self.n_sets)
+        ]
+        self._index: list[dict[int, int]] = [{} for _ in range(self.n_sets)]
+        self.policy = make_policy(params.policy, self.n_sets, self.assoc)
+        self.stats = CacheStats()
+        self.on_evict = on_evict
+
+    # ------------------------------------------------------------------
+    # Hot path
+    # ------------------------------------------------------------------
+
+    def access(self, block: int, fill: bool = True) -> AccessResult:
+        """Reference ``block``; fill it on a miss unless ``fill`` is False.
+
+        ``fill=False`` is the bypass path: the reference is counted and
+        served (from L2/memory, as far as timing is concerned) but does
+        not displace resident blocks. SLICC uses it while a cache is
+        "full" of a useful segment so that threads passing through on
+        their way to another core cannot erode the assembled collective.
+        """
+        set_idx = block & self._set_mask
+        index = self._index[set_idx]
+        self.stats.accesses += 1
+        way = index.get(block)
+        if way is not None:
+            self.policy.on_hit(set_idx, way)
+            return AccessResult(hit=True)
+        self.stats.misses += 1
+        self.policy.on_miss(set_idx)
+        if not fill:
+            return AccessResult(hit=False)
+        victim = self._fill(set_idx, block)
+        return AccessResult(hit=False, victim=victim)
+
+    def _fill(self, set_idx: int, block: int) -> Optional[int]:
+        """Install ``block`` into ``set_idx``; return the evicted block."""
+        tags = self._tags[set_idx]
+        index = self._index[set_idx]
+        victim_block: Optional[int] = None
+        if len(index) < self.assoc:
+            way = tags.index(None)
+        else:
+            way = self.policy.choose_victim(set_idx)
+            victim_block = tags[way]
+            assert victim_block is not None
+            del index[victim_block]
+            self.stats.evictions += 1
+            if self.on_evict is not None:
+                self.on_evict(victim_block)
+        tags[way] = block
+        index[block] = way
+        self.policy.on_fill(set_idx, way)
+        return victim_block
+
+    # ------------------------------------------------------------------
+    # Side-channel operations (prefetch, coherence, search)
+    # ------------------------------------------------------------------
+
+    def probe(self, block: int) -> bool:
+        """Non-modifying residency test (used by remote segment search)."""
+        return block in self._index[block & self._set_mask]
+
+    def install(self, block: int) -> Optional[int]:
+        """Fill ``block`` without counting a demand access (prefetch path).
+
+        Returns the victim block, if any. Installing a resident block is a
+        no-op returning ``None``.
+        """
+        set_idx = block & self._set_mask
+        if block in self._index[set_idx]:
+            return None
+        self.stats.prefetch_fills += 1
+        return self._fill(set_idx, block)
+
+    def invalidate(self, block: int) -> bool:
+        """Remove ``block`` if resident (coherence). Returns True if removed."""
+        set_idx = block & self._set_mask
+        index = self._index[set_idx]
+        way = index.pop(block, None)
+        if way is None:
+            return False
+        self._tags[set_idx][way] = None
+        self.policy.on_invalidate(set_idx, way)
+        self.stats.invalidations += 1
+        if self.on_evict is not None:
+            self.on_evict(block)
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def resident_blocks(self) -> Iterator[int]:
+        """Iterate over every resident block id (order unspecified)."""
+        for index in self._index:
+            yield from index
+
+    def set_of(self, block: int) -> int:
+        """Set index a block maps to (exposed for the bloom signature)."""
+        return block & self._set_mask
+
+    def blocks_in_set(self, set_idx: int) -> list[int]:
+        """Resident block ids of one set (bloom eviction rescan)."""
+        return list(self._index[set_idx])
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(index) for index in self._index)
+
+    def flush(self) -> None:
+        """Empty the cache (does not reset stats)."""
+        for set_idx in range(self.n_sets):
+            for block in list(self._index[set_idx]):
+                way = self._index[set_idx].pop(block)
+                self._tags[set_idx][way] = None
+                self.policy.on_invalidate(set_idx, way)
+
+    def __contains__(self, block: int) -> bool:
+        return self.probe(block)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache(name={self.name!r}, "
+            f"{self.params.size_bytes // 1024}KB, {self.assoc}-way, "
+            f"policy={self.params.policy})"
+        )

@@ -1,0 +1,23 @@
+"""Replacement policies evaluated in Figure 2 of the paper.
+
+Importing this package registers every policy; use
+:func:`repro.cache.policies.make_policy` to instantiate one by name.
+"""
+
+from repro.cache.policies.base import (
+    ReplacementPolicy,
+    make_policy,
+    policy_names,
+    register_policy,
+)
+
+# Importing the modules has the side effect of populating the registry.
+from repro.cache.policies import lru as _lru  # noqa: F401
+from repro.cache.policies import rrip as _rrip  # noqa: F401
+
+__all__ = [
+    "ReplacementPolicy",
+    "make_policy",
+    "policy_names",
+    "register_policy",
+]

@@ -1,0 +1,77 @@
+"""Replacement-policy interface.
+
+A policy owns per-way metadata for every set and answers three questions:
+what to do on a hit, what to do when a new block fills a way, and which way
+to victimise when a set is full. The cache handles invalid ways itself (an
+empty way is always filled before a victim is chosen), so policies only see
+full sets in :meth:`choose_victim`.
+
+Policies that use set-dueling (DIP, DRRIP) additionally observe misses in
+their leader sets via :meth:`on_miss`.
+"""
+
+from __future__ import annotations
+
+
+class ReplacementPolicy:
+    """Base class for per-set replacement policies."""
+
+    #: Registry name, overridden by subclasses (e.g. ``"lru"``).
+    name = "base"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        """A reference hit ``way`` of ``set_idx``."""
+        raise NotImplementedError
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        """A new block was installed into ``way`` of ``set_idx``."""
+        raise NotImplementedError
+
+    def on_miss(self, set_idx: int) -> None:
+        """A reference missed in ``set_idx`` (before any fill).
+
+        Only set-dueling policies care; the default is a no-op.
+        """
+
+    def choose_victim(self, set_idx: int) -> int:
+        """Return the way to evict from a *full* set."""
+        raise NotImplementedError
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        """``way`` was invalidated (coherence); forget its metadata.
+
+        The default is a no-op because most policies tolerate stale
+        metadata on invalid ways — the cache fills empty ways first.
+        """
+
+
+_REGISTRY: dict[str, type[ReplacementPolicy]] = {}
+
+
+def register_policy(cls: type[ReplacementPolicy]) -> type[ReplacementPolicy]:
+    """Class decorator adding ``cls`` to the policy registry by name."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def make_policy(name: str, n_sets: int, assoc: int) -> ReplacementPolicy:
+    """Instantiate a registered policy by name.
+
+    Raises:
+        KeyError: if ``name`` is not a registered policy.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown replacement policy {name!r}; known: {known}")
+    return cls(n_sets, assoc)
+
+
+def policy_names() -> list[str]:
+    """All registered policy names, sorted (the Figure 2 x-axis)."""
+    return sorted(_REGISTRY)

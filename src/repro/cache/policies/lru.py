@@ -1,0 +1,137 @@
+"""LRU and the LRU-insertion-point family (LIP, BIP, DIP).
+
+All four policies share one mechanism: a per-set recency list whose head is
+the eviction candidate. They differ only in where a newly filled block is
+inserted:
+
+* **LRU** inserts at the MRU end (classic).
+* **LIP** (LRU Insertion Policy) inserts at the LRU end, so a block must
+  earn a hit before it is retained (Qureshi et al., ISCA'07).
+* **BIP** (Bimodal) inserts at MRU with low probability (1/32) and at LRU
+  otherwise, letting a trickle of the working set stick.
+* **DIP** (Dynamic) set-duels LRU against BIP with a saturating PSEL
+  counter and applies the winner in follower sets.
+
+The bimodal "probability" is implemented as a deterministic 1-in-32
+counter so simulations are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+
+#: 1-in-N chance of an MRU insertion for bimodal policies.
+BIMODAL_EPSILON = 32
+
+#: PSEL is a 10-bit saturating counter as in the DIP paper.
+PSEL_MAX = 1023
+PSEL_INIT = 512
+
+
+@register_policy
+class LruPolicy(ReplacementPolicy):
+    """Classic least-recently-used replacement."""
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._order: list[list[int]] = [[] for _ in range(n_sets)]
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        order = self._order[set_idx]
+        order.remove(way)
+        order.append(way)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        order = self._order[set_idx]
+        if way in order:
+            order.remove(way)
+        self._insert(set_idx, way)
+
+    def _insert(self, set_idx: int, way: int) -> None:
+        """Insert a fresh block at the MRU end (subclasses override)."""
+        self._order[set_idx].append(way)
+
+    def choose_victim(self, set_idx: int) -> int:
+        return self._order[set_idx][0]
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        order = self._order[set_idx]
+        if way in order:
+            order.remove(way)
+
+
+@register_policy
+class LipPolicy(LruPolicy):
+    """LRU Insertion Policy: fills land at the LRU position."""
+
+    name = "lip"
+
+    def _insert(self, set_idx: int, way: int) -> None:
+        self._order[set_idx].insert(0, way)
+
+
+@register_policy
+class BipPolicy(LruPolicy):
+    """Bimodal Insertion Policy: MRU fill once every 32 fills."""
+
+    name = "bip"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._fill_count = 0
+
+    def _insert(self, set_idx: int, way: int) -> None:
+        self._fill_count += 1
+        if self._fill_count % BIMODAL_EPSILON == 0:
+            self._order[set_idx].append(way)
+        else:
+            self._order[set_idx].insert(0, way)
+
+
+@register_policy
+class DipPolicy(LruPolicy):
+    """Dynamic Insertion Policy: set-duels LRU vs BIP.
+
+    Sets with index ``i % 32 == 0`` always behave as LRU leaders, sets with
+    ``i % 32 == 16`` as BIP leaders; the rest follow the policy currently
+    winning the duel. A miss in an LRU leader nudges PSEL towards BIP and
+    vice versa.
+    """
+
+    name = "dip"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._psel = PSEL_INIT
+        self._fill_count = 0
+        interval = 32 if n_sets >= 32 else max(2, n_sets)
+        self._leader_lru = {i for i in range(n_sets) if i % interval == 0}
+        self._leader_bip = {
+            i for i in range(n_sets) if i % interval == interval // 2
+        }
+
+    def on_miss(self, set_idx: int) -> None:
+        if set_idx in self._leader_lru:
+            self._psel = min(PSEL_MAX, self._psel + 1)
+        elif set_idx in self._leader_bip:
+            self._psel = max(0, self._psel - 1)
+
+    def _use_bip(self, set_idx: int) -> bool:
+        if set_idx in self._leader_lru:
+            return False
+        if set_idx in self._leader_bip:
+            return True
+        return self._psel >= PSEL_INIT
+
+    def _insert(self, set_idx: int, way: int) -> None:
+        order = self._order[set_idx]
+        if not self._use_bip(set_idx):
+            order.append(way)
+            return
+        self._fill_count += 1
+        if self._fill_count % BIMODAL_EPSILON == 0:
+            order.append(way)
+        else:
+            order.insert(0, way)

@@ -1,0 +1,124 @@
+"""Re-Reference Interval Prediction policies (SRRIP, BRRIP, DRRIP).
+
+Jaleel et al. (ISCA'10) attach a 2-bit re-reference prediction value
+(RRPV) to every line. RRPV 0 means "re-referenced soon", RRPV 3 means
+"re-referenced in the distant future"; the victim is any line with RRPV 3
+(ageing all lines until one qualifies).
+
+* **SRRIP** fills with RRPV 2 ("long" interval) and promotes to 0 on hit.
+* **BRRIP** fills with RRPV 3 most of the time and RRPV 2 once every 32
+  fills — the thrash-resistant bimodal variant the paper observes DRRIP
+  choosing for OLTP (Section 2.1.2).
+* **DRRIP** set-duels SRRIP against BRRIP exactly like DIP duels LRU/BIP.
+
+As with BIP, the bimodal choice uses a deterministic 1-in-32 counter for
+reproducibility.
+"""
+
+from __future__ import annotations
+
+from repro.cache.policies.base import ReplacementPolicy, register_policy
+from repro.cache.policies.lru import BIMODAL_EPSILON, PSEL_INIT, PSEL_MAX
+
+#: 2-bit RRPV: values 0 (near) .. 3 (distant).
+RRPV_MAX = 3
+RRPV_LONG = 2
+RRPV_DISTANT = 3
+
+
+@register_policy
+class SrripPolicy(ReplacementPolicy):
+    """Static RRIP with hit-priority promotion."""
+
+    name = "srrip"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._rrpv: list[list[int]] = [
+            [RRPV_MAX] * assoc for _ in range(n_sets)
+        ]
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx][way] = 0
+
+    def _fill_rrpv(self, set_idx: int) -> int:
+        """RRPV assigned to a fresh fill (subclasses override)."""
+        return RRPV_LONG
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx][way] = self._fill_rrpv(set_idx)
+
+    def choose_victim(self, set_idx: int) -> int:
+        rrpv = self._rrpv[set_idx]
+        while True:
+            for way, value in enumerate(rrpv):
+                if value >= RRPV_MAX:
+                    return way
+            for way in range(self.assoc):
+                rrpv[way] += 1
+
+    def on_invalidate(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx][way] = RRPV_MAX
+
+
+@register_policy
+class BrripPolicy(SrripPolicy):
+    """Bimodal RRIP: distant fills with an occasional long fill."""
+
+    name = "brrip"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._fill_count = 0
+
+    def _fill_rrpv(self, set_idx: int) -> int:
+        self._fill_count += 1
+        if self._fill_count % BIMODAL_EPSILON == 0:
+            return RRPV_LONG
+        return RRPV_DISTANT
+
+
+@register_policy
+class DrripPolicy(SrripPolicy):
+    """Dynamic RRIP: set-duels SRRIP against BRRIP via PSEL."""
+
+    name = "drrip"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._psel = PSEL_INIT
+        self._fill_count = 0
+        interval = 32 if n_sets >= 32 else max(2, n_sets)
+        self._leader_srrip = {i for i in range(n_sets) if i % interval == 0}
+        self._leader_brrip = {
+            i for i in range(n_sets) if i % interval == interval // 2
+        }
+
+    def on_miss(self, set_idx: int) -> None:
+        if set_idx in self._leader_srrip:
+            self._psel = min(PSEL_MAX, self._psel + 1)
+        elif set_idx in self._leader_brrip:
+            self._psel = max(0, self._psel - 1)
+
+    def chose_brrip_fraction(self) -> float:
+        """Diagnostic: 1.0 when the duel currently favours BRRIP.
+
+        The paper notes DRRIP picks BRRIP most of the time for OLTP; tests
+        assert this through the same PSEL the fills consult.
+        """
+        return 1.0 if self._psel >= PSEL_INIT else 0.0
+
+    def _use_brrip(self, set_idx: int) -> bool:
+        if set_idx in self._leader_srrip:
+            return False
+        if set_idx in self._leader_brrip:
+            return True
+        return self._psel >= PSEL_INIT
+
+    def _fill_rrpv(self, set_idx: int) -> int:
+        if not self._use_brrip(set_idx):
+            return RRPV_LONG
+        self._fill_count += 1
+        if self._fill_count % BIMODAL_EPSILON == 0:
+            return RRPV_LONG
+        return RRPV_DISTANT

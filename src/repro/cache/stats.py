@@ -1,0 +1,65 @@
+"""Per-cache access statistics.
+
+``CacheStats`` is deliberately a plain mutable dataclass: the simulator's
+inner loop bumps its counters millions of times, so every indirection
+counts. Derived metrics (miss ratio, MPKI) are computed on demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance.
+
+    Attributes:
+        accesses: total references (hits + misses).
+        misses: references that missed.
+        evictions: valid blocks displaced by fills.
+        invalidations: blocks removed by coherence actions.
+        prefetch_fills: blocks installed by a prefetcher rather than demand.
+    """
+
+    accesses: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    prefetch_fills: int = 0
+
+    @property
+    def hits(self) -> int:
+        """Demand references that hit."""
+        return self.accesses - self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses / accesses; 0.0 for an untouched cache."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def mpki(self, instructions: int) -> float:
+        """Misses per kilo-instruction given a retired-instruction count."""
+        if instructions <= 0:
+            return 0.0
+        return 1000.0 * self.misses / instructions
+
+    def reset(self) -> None:
+        """Zero every counter (used between warm-up and measurement)."""
+        self.accesses = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        self.prefetch_fills = 0
+
+    def merged(self, other: "CacheStats") -> "CacheStats":
+        """Return the element-wise sum of two stat blocks."""
+        return CacheStats(
+            accesses=self.accesses + other.accesses,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            invalidations=self.invalidations + other.invalidations,
+            prefetch_fills=self.prefetch_fills + other.prefetch_fills,
+        )

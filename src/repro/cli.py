@@ -1,0 +1,153 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``     simulate one workload under one or more variants
+``sweep``   the Figure 7/8 threshold sweeps
+``info``    show workload and machine parameters
+
+Examples::
+
+    python -m repro run tpcc-1 --variants base slicc-sw --threads 32
+    python -m repro sweep tpcc-1 --kind dilution
+    python -m repro info tpce
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from repro.analysis import format_table, sweep_dilution, sweep_fillup_matched
+from repro.params import ScalePreset
+from repro.sim import VARIANTS, SimConfig, simulate
+from repro.workloads import (
+    DEFAULT_THREADS,
+    get_workload,
+    standard_trace,
+    workload_names,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument(
+        "--scale",
+        choices=[s.value for s in ScalePreset],
+        default="ci",
+        help="workload scale preset (default: ci)",
+    )
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=1)
+
+
+def _trace_from(args: argparse.Namespace):
+    scale = ScalePreset(args.scale)
+    return standard_trace(
+        args.workload, scale, n_threads=args.threads, seed=args.seed
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = _trace_from(args)
+    rows = []
+    base = None
+    variants = args.variants
+    if "base" not in variants:
+        variants = ["base"] + list(variants)
+    for variant in variants:
+        result = simulate(trace, config=SimConfig(variant=variant))
+        if variant == "base":
+            base = result
+        rows.append(
+            [
+                variant,
+                result.i_mpki,
+                result.d_mpki,
+                result.speedup_over(base),
+                result.migrations,
+                result.utilization,
+            ]
+        )
+    print(
+        format_table(
+            ["variant", "I-MPKI", "D-MPKI", "speedup", "migrations", "util"],
+            rows,
+            title=f"{args.workload} ({len(trace.threads)} threads)",
+        )
+    )
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    trace = _trace_from(args)
+    if args.kind == "dilution":
+        points = sweep_dilution(trace)
+        headers = ["dilution_t", "I-MPKI", "D-MPKI", "speedup", "migrations"]
+        rows = [
+            [p.dilution_t, p.i_mpki, p.d_mpki, p.speedup, p.migrations]
+            for p in points
+        ]
+    else:
+        points = sweep_fillup_matched(trace)
+        headers = ["fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup"]
+        rows = [
+            [p.fill_up_t, p.matched_t, p.i_mpki, p.d_mpki, p.speedup]
+            for p in points
+        ]
+    print(format_table(headers, rows, title=f"{args.kind} sweep — {args.workload}"))
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    scale = ScalePreset(args.scale)
+    spec = get_workload(args.workload, scale)
+    blocks = spec.footprint_blocks()
+    rows = [
+        ["transaction types", len(spec.txn_types)],
+        ["code segments", len(spec.segments)],
+        ["code footprint", f"{blocks * 64 // 1024}KB ({blocks} blocks)"],
+        ["default threads", DEFAULT_THREADS[scale]],
+        ["store fraction", spec.data.store_frac],
+    ]
+    print(format_table(["property", "value"], rows, title=spec.name))
+    for txn in spec.txn_types:
+        footprint = spec.type_footprint_blocks(txn.type_id) * 64 // 1024
+        print(
+            f"  {txn.name:20s} weight={txn.weight:5.1f} "
+            f"path={len(txn.path)} visits, footprint={footprint}KB"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SLICC (MICRO 2012) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate a workload under variants")
+    _add_common(run)
+    run.add_argument(
+        "--variants", nargs="+", choices=VARIANTS, default=["base", "slicc-sw"]
+    )
+    run.set_defaults(func=_cmd_run)
+
+    sweep = sub.add_parser("sweep", help="threshold sweeps (Figures 7/8)")
+    _add_common(sweep)
+    sweep.add_argument(
+        "--kind", choices=["dilution", "fillup"], default="dilution"
+    )
+    sweep.set_defaults(func=_cmd_sweep)
+
+    info = sub.add_parser("info", help="show workload parameters")
+    _add_common(info)
+    info.set_defaults(func=_cmd_info)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

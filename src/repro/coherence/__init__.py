@@ -1,0 +1,5 @@
+"""Data-cache coherence substrate (MESI-style invalidation directory)."""
+
+from repro.coherence.mesi import Directory
+
+__all__ = ["Directory"]

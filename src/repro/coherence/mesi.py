@@ -1,0 +1,67 @@
+"""Invalidation-based coherence directory for the private L1-D caches.
+
+The paper's machine keeps the L1-Ds coherent with MESI (Table 2). For the
+experiments that matter here, the observable effects of coherence are:
+
+* a store by core A invalidates the block in every other L1-D, producing
+  the "extra misses on core-B and invalidations on core-A" of Section 5.5
+  when threads migrate mid-stream;
+* invalidation counts that feed the D-MPKI accounting.
+
+We therefore model a full-map directory: ``block -> set of caching cores``.
+States collapse to "shared by these cores" / "not cached"; there is no
+writeback traffic because the simulator charges no cycles for it.
+
+Instruction blocks are read-only and never enter the directory.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.cache.cache import SetAssociativeCache
+
+
+class Directory:
+    """Full-map invalidation directory over the per-core L1-D caches."""
+
+    def __init__(self, l1d_caches: list["SetAssociativeCache"]) -> None:
+        self._caches = l1d_caches
+        self._sharers: dict[int, set[int]] = {}
+        #: Total invalidation messages sent (for reporting).
+        self.invalidations_sent = 0
+
+    def on_read(self, core: int, block: int) -> None:
+        """Core ``core`` filled ``block`` for a load."""
+        self._sharers.setdefault(block, set()).add(core)
+
+    def on_write(self, core: int, block: int) -> int:
+        """Core ``core`` wrote ``block``; invalidate all other sharers.
+
+        Returns the number of remote copies invalidated.
+        """
+        sharers = self._sharers.setdefault(block, set())
+        invalidated = 0
+        if sharers - {core}:
+            for other in list(sharers):
+                if other == core:
+                    continue
+                self._caches[other].invalidate(block)
+                sharers.discard(other)
+                invalidated += 1
+            self.invalidations_sent += invalidated
+        sharers.add(core)
+        return invalidated
+
+    def on_evict(self, core: int, block: int) -> None:
+        """Core ``core`` dropped ``block`` (eviction or invalidation)."""
+        sharers = self._sharers.get(block)
+        if sharers is not None:
+            sharers.discard(core)
+            if not sharers:
+                del self._sharers[block]
+
+    def sharers_of(self, block: int) -> frozenset[int]:
+        """Current sharer set of a block (diagnostics and tests)."""
+        return frozenset(self._sharers.get(block, frozenset()))

@@ -1,0 +1,69 @@
+"""Miss-dilution tracking: the miss shift-vector (Section 4.2.2).
+
+The MSV is a 100-bit FIFO shift register recording hit(0)/miss(1) for the
+last 100 L1-I accesses, enabled once the cache is full. When the number
+of set bits reaches ``dilution_t`` the thread is deemed to be *leaving*
+its cached segment (frequent recent misses) rather than briefly diverging
+(sparse misses), and migration is enabled. The MSV is reset on every
+migration.
+
+The implementation keeps a running popcount so each access is O(1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigurationError
+
+
+class MissShiftVector:
+    """Fixed-width hit/miss history with O(1) dilution queries."""
+
+    def __init__(self, window: int = 100, dilution_t: int = 10) -> None:
+        if window <= 0:
+            raise ConfigurationError("window must be positive")
+        if not (0 <= dilution_t <= window):
+            raise ConfigurationError("dilution_t must lie in [0, window]")
+        self.window = window
+        self.dilution_t = dilution_t
+        self._bits: deque[int] = deque(maxlen=window)
+        self._ones = 0
+
+    @property
+    def miss_count(self) -> int:
+        """Number of misses among the recorded accesses."""
+        return self._ones
+
+    @property
+    def occupancy(self) -> int:
+        """How many accesses have been recorded (up to ``window``)."""
+        return len(self._bits)
+
+    @property
+    def dilution_reached(self) -> bool:
+        """True when recent misses are frequent enough to allow migration.
+
+        With ``dilution_t == 0`` migration is always allowed (the setting
+        used by the Figure 7 threshold sweep).
+        """
+        return self._ones >= self.dilution_t
+
+    def record(self, miss: bool) -> None:
+        """Shift in one access outcome."""
+        bit = 1 if miss else 0
+        if len(self._bits) == self.window:
+            self._ones -= self._bits[0]
+        self._bits.append(bit)
+        self._ones += bit
+
+    def reset(self) -> None:
+        """Clear all history (done on every migration)."""
+        self._bits.clear()
+        self._ones = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MissShiftVector(misses={self._ones}/{len(self._bits)}, "
+            f"dilution_t={self.dilution_t})"
+        )

@@ -1,0 +1,105 @@
+"""Per-core thread queues and naive load balancing (Section 4.1).
+
+In SLICC's steady state every core has one running thread plus a hardware
+FIFO of waiting threads. Newly arrived threads go to the least congested
+core; migrating threads join the tail of their target core's queue.
+``ThreadQueues`` owns only queue state — *which* thread runs is the
+engine's business — so it is trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Optional
+
+from repro.errors import SimulationError
+
+
+class ThreadQueues:
+    """FIFO thread queues for ``n_cores`` cores."""
+
+    def __init__(self, n_cores: int) -> None:
+        if n_cores <= 0:
+            raise SimulationError("n_cores must be positive")
+        self.n_cores = n_cores
+        self._queues: list[deque[int]] = [deque() for _ in range(n_cores)]
+        self._queued: set[int] = set()
+
+    def enqueue(self, core: int, thread_id: int) -> None:
+        """Append a thread to a core's queue.
+
+        Raises:
+            SimulationError: if the thread is already queued somewhere —
+                a thread can only wait in one place.
+        """
+        if thread_id in self._queued:
+            raise SimulationError(
+                f"thread {thread_id} enqueued while already waiting"
+            )
+        self._queues[core].append(thread_id)
+        self._queued.add(thread_id)
+
+    def dequeue(self, core: int) -> Optional[int]:
+        """Pop the next waiting thread of a core (None when empty)."""
+        queue = self._queues[core]
+        if not queue:
+            return None
+        thread_id = queue.popleft()
+        self._queued.discard(thread_id)
+        return thread_id
+
+    def requeue_to_tail(self, core: int, thread_id: int) -> None:
+        """Move a blocked thread to the end of its core's queue (I/O case)."""
+        self.enqueue(core, thread_id)
+
+    def depth(self, core: int) -> int:
+        """Number of threads waiting on a core."""
+        return len(self._queues[core])
+
+    def steal_tail(self, core: int) -> Optional[int]:
+        """Remove and return the most recently queued thread of a core.
+
+        Used by the engine's idle-core rebalancing: the tail thread is the
+        one that has waited least and therefore loses the least cache
+        affinity by being moved. Returns None when the queue is empty.
+        """
+        queue = self._queues[core]
+        if not queue:
+            return None
+        thread_id = queue.pop()
+        self._queued.discard(thread_id)
+        return thread_id
+
+    def deepest_cores(self, min_depth: int = 1) -> list[int]:
+        """Cores ordered by queue depth, deepest first, at least
+        ``min_depth`` waiting threads."""
+        cores = [
+            c for c in range(self.n_cores) if len(self._queues[c]) >= min_depth
+        ]
+        cores.sort(key=lambda c: -len(self._queues[c]))
+        return cores
+
+    def total_waiting(self) -> int:
+        """Threads waiting across all cores."""
+        return len(self._queued)
+
+    def least_congested(
+        self, allowed: Optional[Iterable[int]] = None
+    ) -> int:
+        """Core with the fewest waiting threads (ties -> lowest id).
+
+        Args:
+            allowed: restrict the choice to these cores (team scheduling).
+        """
+        cores = list(allowed) if allowed is not None else range(self.n_cores)
+        if not cores:
+            raise SimulationError("least_congested called with no cores")
+        return min(cores, key=lambda c: (len(self._queues[c]), c))
+
+    def is_empty(self, core: int) -> bool:
+        """True when no thread waits on this core."""
+        return not self._queues[core]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        depths = [len(q) for q in self._queues]
+        return f"ThreadQueues(depths={depths})"

@@ -1,0 +1,86 @@
+"""Partial-address bloom-filter cache signature (Section 4.2.3, Figure 9).
+
+Each core maintains a bloom filter summarising its L1-I contents so that
+remote segment searches can be answered without stealing cache ports. The
+paper uses the partial-address filter of Peir et al. with eviction
+support: the filter index is the low ``log2(bits)`` bits of the block id.
+Because the filter index embeds the cache set index (filter bits >= set
+count), two blocks can only collide in the filter if they live in the
+same cache set — so on an eviction, rescanning just that set suffices to
+decide whether the bit can be cleared.
+
+The filter is a *superset* signature: probes can give false positives
+(another same-set block shares the filter index) but never false
+negatives, which is the safe direction for a migration predictor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cache.cache import SetAssociativeCache
+
+
+class BloomSignature:
+    """Partial-address bloom filter mirroring one L1-I cache's contents.
+
+    Wire it to a cache by passing :meth:`on_evict` as the cache's eviction
+    callback and calling :meth:`insert` after each fill.
+    """
+
+    def __init__(self, bits: int, cache: "SetAssociativeCache") -> None:
+        if bits <= 0 or bits & (bits - 1) != 0:
+            raise ConfigurationError("bloom bits must be a positive power of two")
+        if bits < cache.n_sets:
+            raise ConfigurationError(
+                f"bloom bits ({bits}) must be >= cache sets ({cache.n_sets}) "
+                "for per-set eviction support"
+            )
+        self.bits = bits
+        self._mask = bits - 1
+        self._filter = bytearray(bits // 8) if bits >= 8 else bytearray(1)
+        self._cache = cache
+
+    def _index(self, block: int) -> int:
+        return block & self._mask
+
+    def probe(self, block: int) -> bool:
+        """Is ``block`` (probably) cached? No false negatives."""
+        idx = self._index(block)
+        return bool(self._filter[idx >> 3] & (1 << (idx & 7)))
+
+    def insert(self, block: int) -> None:
+        """Record that ``block`` was installed in the cache."""
+        idx = self._index(block)
+        self._filter[idx >> 3] |= 1 << (idx & 7)
+
+    def on_evict(self, block: int) -> None:
+        """Handle an eviction: clear the bit unless a same-set survivor
+        shares the filter index (the partial-address collision case)."""
+        idx = self._index(block)
+        for other in self._cache.blocks_in_set(self._cache.set_of(block)):
+            if other != block and self._index(other) == idx:
+                return
+        self._filter[idx >> 3] &= ~(1 << (idx & 7)) & 0xFF
+
+    def rebuild(self) -> None:
+        """Recompute the filter from the cache's exact contents."""
+        for i in range(len(self._filter)):
+            self._filter[i] = 0
+        for block in self._cache.resident_blocks():
+            self.insert(block)
+
+    def agreement_check(self, block: int) -> bool:
+        """True when filter and cache agree on residency of ``block``.
+
+        This is the accuracy metric of Figure 9: an access is *accurate*
+        if the bloom filter and the cache agree on hit/miss.
+        """
+        return self.probe(block) == self._cache.probe(block)
+
+    def popcount(self) -> int:
+        """Number of set bits (diagnostics)."""
+        return sum(bin(byte).count("1") for byte in self._filter)

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the SLICC reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when simulation or cache parameters are inconsistent.
+
+    Examples: a cache whose size is not divisible by ``block_size * assoc``,
+    a SLICC threshold outside its legal range, or a workload spec with no
+    transaction types.
+    """
+
+
+class TraceError(ReproError):
+    """Raised when a trace is malformed or inconsistent with its metadata."""
+
+
+class SimulationError(ReproError):
+    """Raised when the simulation engine reaches an impossible state.
+
+    This always indicates a bug (e.g. a thread scheduled on two cores at
+    once); it is never an expected runtime condition.
+    """

@@ -1,0 +1,5 @@
+"""On-chip interconnect models (Table 2: 4x4 2D torus, 1-cycle hops)."""
+
+from repro.interconnect.torus import Torus2D
+
+__all__ = ["Torus2D"]

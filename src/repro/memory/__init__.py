@@ -1,0 +1,5 @@
+"""Main-memory substrate: the Table 2 DDR3 timing model."""
+
+from repro.memory.dram import DdrTimings, DramModel
+
+__all__ = ["DdrTimings", "DramModel"]

@@ -1,0 +1,10 @@
+"""Instruction prefetcher baselines compared against SLICC in Figure 11."""
+
+from repro.prefetch.nextline import NextLinePrefetcher
+from repro.prefetch.pif import PIF_STORAGE_BYTES_PER_CORE, pif_l1i_params
+
+__all__ = [
+    "NextLinePrefetcher",
+    "PIF_STORAGE_BYTES_PER_CORE",
+    "pif_l1i_params",
+]

@@ -1,0 +1,25 @@
+"""Simulation engine: machine model, timing, replay loop, results."""
+
+from repro.sim.engine import (
+    SLICC_VARIANTS,
+    VARIANTS,
+    ReplayEngine,
+    SimConfig,
+    simulate,
+)
+from repro.sim.machine import Machine
+from repro.sim.results import SimulationResult
+from repro.sim.timing import TimingModel
+from repro.sim.tlb import Tlb
+
+__all__ = [
+    "Machine",
+    "ReplayEngine",
+    "SLICC_VARIANTS",
+    "SimConfig",
+    "SimulationResult",
+    "Tlb",
+    "TimingModel",
+    "VARIANTS",
+    "simulate",
+]

@@ -1,0 +1,117 @@
+"""Simulation result container and derived metrics.
+
+Every experiment in the paper reports some combination of I-MPKI, D-MPKI,
+speedup over the baseline, migration/broadcast counts, and TLB deltas.
+``SimulationResult`` carries the raw counts; all rates are derived
+properties so they can never drift out of sync with the counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated outcome of one simulation run."""
+
+    variant: str
+    workload: str
+    cycles: int
+    instructions: int
+    i_accesses: int
+    i_misses: int
+    d_accesses: int
+    d_misses: int
+    migrations: int = 0
+    context_switches: int = 0
+    broadcasts: int = 0
+    invalidations: int = 0
+    itlb_misses: int = 0
+    dtlb_misses: int = 0
+    threads_completed: int = 0
+    segment_match_migrations: int = 0
+    idle_core_migrations: int = 0
+    stay_decisions: int = 0
+    teams_completed: int = 0
+    miss_class_mpki: dict = field(default_factory=dict)
+    #: Cycle accounting: where the busy cycles went, plus core utilisation
+    #: (busy cycles / (n_cores * makespan)). Diagnostic for calibration
+    #: and the ablation benchmarks.
+    cycles_base: int = 0
+    cycles_i_stall: int = 0
+    cycles_d_stall: int = 0
+    cycles_migration: int = 0
+    cycles_tlb: int = 0
+    utilization: float = 0.0
+
+    @property
+    def instruction_stall_share(self) -> float:
+        """Instruction stalls as a fraction of all stall cycles (the paper
+        reports 70-85% for OLTP)."""
+        stalls = self.cycles_i_stall + self.cycles_d_stall
+        return self.cycles_i_stall / stalls if stalls else 0.0
+
+    @property
+    def i_mpki(self) -> float:
+        """L1-I misses per kilo-instruction."""
+        return 1000.0 * self.i_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def d_mpki(self) -> float:
+        """L1-D misses per kilo-instruction."""
+        return 1000.0 * self.d_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def total_mpki(self) -> float:
+        """Combined L1 MPKI."""
+        return self.i_mpki + self.d_mpki
+
+    @property
+    def bpki(self) -> float:
+        """Remote-search broadcasts per kilo-instruction (Section 5.8)."""
+        return 1000.0 * self.broadcasts / self.instructions if self.instructions else 0.0
+
+    @property
+    def itlb_mpki(self) -> float:
+        """I-TLB misses per kilo-instruction."""
+        return 1000.0 * self.itlb_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def dtlb_mpki(self) -> float:
+        """D-TLB misses per kilo-instruction."""
+        return 1000.0 * self.dtlb_misses / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        """Aggregate instructions per cycle (makespan-based)."""
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """Relative performance vs a baseline run of the same workload.
+
+        The paper measures performance as the cycles to execute all
+        transactions, so speedup is the baseline's makespan over ours.
+        """
+        if self.workload != baseline.workload:
+            raise ValueError(
+                f"speedup across different workloads: {self.workload} vs "
+                f"{baseline.workload}"
+            )
+        if self.cycles == 0:
+            return 0.0
+        return baseline.cycles / self.cycles
+
+    def instructions_per_migration(self) -> float:
+        """Mean retired instructions between migrations (paper: ~3.2K)."""
+        if self.migrations == 0:
+            return float("inf")
+        return self.instructions / self.migrations
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.workload}/{self.variant}: I-MPKI={self.i_mpki:.2f} "
+            f"D-MPKI={self.d_mpki:.2f} cycles={self.cycles} "
+            f"migrations={self.migrations} bpki={self.bpki:.3f}"
+        )

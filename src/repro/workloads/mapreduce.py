@@ -1,0 +1,58 @@
+"""MapReduce workload model (Table 1: Hadoop/Mahout over Wikipedia).
+
+The paper uses MapReduce as the robustness check: its instruction
+footprint *fits* in a 32KB L1-I, so SLICC must neither help nor hurt
+(Sections 5.4-5.6), and 71% of its total L1 misses are compulsory
+(Section 2.1.1) because it streams over a 12GB dataset.
+
+We model it as a single task type with one small code segment iterated
+many times, plus a data stream dominated by a cold scan.
+"""
+
+from __future__ import annotations
+
+from repro.params import ScalePreset
+from repro.workloads.spec import (
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    layout_segments,
+)
+
+#: The map/reduce kernel: 200 blocks = 12.5KB, comfortably inside 32KB.
+_SEGMENT_BLOCKS = {
+    ScalePreset.SMOKE: 32,
+    ScalePreset.CI: 200,
+    ScalePreset.PAPER: 200,
+}
+
+
+def make_mapreduce(scale: ScalePreset = ScalePreset.CI) -> WorkloadSpec:
+    """Build the MapReduce workload spec."""
+    seg_blocks = _SEGMENT_BLOCKS[scale]
+    segments = layout_segments([seg_blocks])
+
+    # One kernel revisited over and over: high intra-thread reuse, tiny
+    # footprint.
+    path = tuple(
+        PathStep(seg_id=0, inner_iterations=4) for _ in range(6)
+    )
+    txn_types = (
+        TransactionTypeSpec(type_id=0, name="MapTask", weight=1.0, path=path),
+    )
+    data = DataSpec(
+        accesses_per_iblock=0.9,
+        hot_private_blocks=8,
+        shared_hot_blocks=32,
+        hot_private_frac=0.15,
+        shared_frac=0.05,
+        store_frac=0.25,
+        private_region_blocks=65536,
+    )
+    return WorkloadSpec(
+        name="mapreduce",
+        segments=tuple(segments),
+        txn_types=txn_types,
+        data=data,
+    )

@@ -1,0 +1,185 @@
+"""Workload specifications: transaction types as code-segment graphs.
+
+Section 2 of the paper characterises OLTP instruction streams as:
+
+* per-transaction footprints several times the 32KB L1-I, structured as a
+  path over **code segments** each roughly L1-I sized (Figure 4's A-B-C-A);
+* ~98% of instruction blocks shared among threads of the same transaction
+  type, ~80% across all threads (Figure 3, Chakraborty et al.);
+* recurring intra-transaction patterns (segments revisited) with inner
+  loops inside each segment;
+* data footprints that are large and compulsory-miss dominated, with 45%
+  of data accesses being stores (Section 5.5).
+
+A :class:`WorkloadSpec` encodes exactly these structural knobs, and the
+generator turns a spec plus a seed into deterministic per-thread traces.
+Segments carry explicit block ranges so the same segment referenced from
+two types shares the same cache blocks (that *is* the inter-type overlap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Data block ids live far above instruction block ids so the two address
+#: spaces can never collide even though they index different caches.
+DATA_BLOCK_BASE = 1 << 32
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One contiguous code segment.
+
+    Attributes:
+        seg_id: index into ``WorkloadSpec.segments``.
+        base_block: first instruction block id of the segment.
+        n_blocks: segment length in 64B blocks (~448 blocks = 28KB, i.e.
+            "fits in the L1-I but two segments do not fit together").
+    """
+
+    seg_id: int
+    base_block: int
+    n_blocks: int
+
+    def __post_init__(self) -> None:
+        if self.n_blocks <= 0:
+            raise ConfigurationError("segment n_blocks must be positive")
+
+
+@dataclass(frozen=True)
+class PathStep:
+    """One visit to a segment within a transaction's control flow.
+
+    Attributes:
+        seg_id: segment visited.
+        probability: chance the visit is taken by a given transaction
+            instance (models divergent control flow — Figure 4's segment D
+            that T1 skips but T2 takes).
+        inner_iterations: passes over the segment during the visit (inner
+            loop reuse; >=1).
+    """
+
+    seg_id: int
+    probability: float = 1.0
+    inner_iterations: int = 2
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ConfigurationError("probability must lie in [0, 1]")
+        if self.inner_iterations < 1:
+            raise ConfigurationError("inner_iterations must be >= 1")
+
+
+@dataclass(frozen=True)
+class TransactionTypeSpec:
+    """A transaction type: name, mix weight, and its segment path."""
+
+    type_id: int
+    name: str
+    weight: float
+    path: tuple[PathStep, ...]
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ConfigurationError("weight must be non-negative")
+        if not self.path:
+            raise ConfigurationError(f"type {self.name!r} has an empty path")
+
+    def distinct_segments(self) -> frozenset[int]:
+        """Segment ids this type may touch."""
+        return frozenset(step.seg_id for step in self.path)
+
+
+@dataclass(frozen=True)
+class DataSpec:
+    """Shape of a thread's data-access stream.
+
+    The stream is a mixture of three sources:
+
+    * a small thread-private **hot set** (stack frames, cursor state) that
+      is re-missed after a migration;
+    * **shared** hot structures (root pages, schema, latches) common to
+      all threads — stores to these trigger coherence invalidations;
+    * a thread-private **cold stream** of fresh blocks, which produces the
+      compulsory-dominated data misses of Figure 1.
+    """
+
+    accesses_per_iblock: float = 0.45
+    hot_private_blocks: int = 6
+    shared_hot_blocks: int = 96
+    hot_private_frac: float = 0.40
+    shared_frac: float = 0.30
+    store_frac: float = 0.45
+    private_region_blocks: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.hot_private_frac + self.shared_frac > 1.0:
+            raise ConfigurationError(
+                "hot_private_frac + shared_frac must not exceed 1.0"
+            )
+        for name in ("accesses_per_iblock", "store_frac"):
+            value = getattr(self, name)
+            if value < 0:
+                raise ConfigurationError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A complete benchmark description (Table 1 analogue)."""
+
+    name: str
+    segments: tuple[SegmentSpec, ...]
+    txn_types: tuple[TransactionTypeSpec, ...]
+    data: DataSpec = field(default_factory=DataSpec)
+    #: Probability an individual block reference within a segment pass is
+    #: skipped (fine-grain control-flow noise).
+    block_skip_prob: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.txn_types:
+            raise ConfigurationError("workload needs at least one txn type")
+        seg_ids = {seg.seg_id for seg in self.segments}
+        if seg_ids != set(range(len(self.segments))):
+            raise ConfigurationError("segment ids must be 0..n-1 in order")
+        for txn in self.txn_types:
+            missing = txn.distinct_segments() - seg_ids
+            if missing:
+                raise ConfigurationError(
+                    f"type {txn.name!r} references unknown segments {missing}"
+                )
+        total = sum(t.weight for t in self.txn_types)
+        if total <= 0:
+            raise ConfigurationError("total type weight must be positive")
+
+    def type_mix(self) -> list[float]:
+        """Normalised selection probabilities of the transaction types."""
+        total = sum(t.weight for t in self.txn_types)
+        return [t.weight / total for t in self.txn_types]
+
+    def footprint_blocks(self) -> int:
+        """Total distinct instruction blocks across all segments."""
+        return sum(seg.n_blocks for seg in self.segments)
+
+    def type_footprint_blocks(self, type_id: int) -> int:
+        """Distinct instruction blocks reachable by one type."""
+        txn = self.txn_types[type_id]
+        return sum(
+            self.segments[seg_id].n_blocks
+            for seg_id in txn.distinct_segments()
+        )
+
+
+def layout_segments(block_counts: list[int], gap_blocks: int = 64) -> list[SegmentSpec]:
+    """Allocate non-overlapping segments with small gaps between them.
+
+    The gap keeps adjacent segments from sharing cache sets in lockstep
+    and mirrors the padding real linkers introduce between functions.
+    """
+    segments = []
+    base = 0
+    for seg_id, n_blocks in enumerate(block_counts):
+        segments.append(SegmentSpec(seg_id=seg_id, base_block=base, n_blocks=n_blocks))
+        base += n_blocks + gap_blocks
+    return segments

@@ -1,0 +1,210 @@
+"""TPC-C workload model (Table 1: wholesale supplier, 1 or 10 warehouses).
+
+Structure calibrated to the paper's characterisation:
+
+* five transaction types with the standard TPC-C mix (NewOrder 45%,
+  Payment 43%, OrderStatus/Delivery/StockLevel ~4% each);
+* six **shared** storage-manager segments giving the ~80% cross-type
+  instruction overlap of Figure 3;
+* per-type private segments so same-type threads overlap ~98%;
+* per-type footprint of 8 distinct segments (~224KB) so a transaction
+  spreads over many L1-I caches (Section 5.4 reports up to 14 cores);
+  total footprint 16 segments (~448KB at CI scale) — just under the 512KB
+  of the PIF upper-bound model, which is why PIF is near-perfect on TPC-C
+  (Section 5.6) while a 32KB L1-I thrashes badly;
+* TPC-C-10 shares the code footprint of TPC-C-1 but has a larger, less
+  shared data footprint, which is exactly why the paper sees a smaller
+  D-MPKI penalty when migrating on the bigger database.
+"""
+
+from __future__ import annotations
+
+from repro.params import ScalePreset
+from repro.workloads.spec import (
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    layout_segments,
+)
+
+#: Segment name -> index. S* are shared storage-manager code; letters are
+#: per-type transaction logic. Six shared segments model the dominant
+#: storage-manager footprint (B-tree, locks, log, buffer pool, catalog,
+#: xct management) responsible for the ~80% cross-type overlap of
+#: Figure 3; two private segments per type give same-type threads their
+#: ~98% overlap while keeping types distinguishable.
+_SEGMENTS = {
+    "S0_btree": 0,
+    "S1_lock": 1,
+    "S2_log": 2,
+    "S3_buffer": 3,
+    "S4_catalog": 4,
+    "S5_xct": 5,
+    "A0_neworder": 6,
+    "A1_neworder": 7,
+    "B0_payment": 8,
+    "B1_payment": 9,
+    "C0_orderstatus": 10,
+    "C1_orderstatus": 11,
+    "D0_delivery": 12,
+    "D1_delivery": 13,
+    "E0_stocklevel": 14,
+    "E1_stocklevel": 15,
+}
+
+#: Blocks per segment at each scale (448 blocks = 28KB: fits one 32KB L1-I,
+#: two segments do not fit together — Section 3.1).
+_SEGMENT_BLOCKS = {
+    ScalePreset.SMOKE: 56,
+    ScalePreset.CI: 448,
+    ScalePreset.PAPER: 448,
+}
+
+
+def _path(steps: list[tuple[str, float, int]]) -> tuple[PathStep, ...]:
+    return tuple(
+        PathStep(seg_id=_SEGMENTS[name], probability=prob, inner_iterations=inner)
+        for name, prob, inner in steps
+    )
+
+
+def make_tpcc(
+    scale: ScalePreset = ScalePreset.CI, warehouses: int = 1
+) -> WorkloadSpec:
+    """Build the TPC-C workload spec.
+
+    Args:
+        scale: workload scale preset.
+        warehouses: 1 (TPC-C-1, 84MB) or 10 (TPC-C-10, 1GB). The code
+            footprint is identical; the data stream differs as described
+            in the module docstring.
+    """
+    seg_blocks = _SEGMENT_BLOCKS[scale]
+    segments = layout_segments([seg_blocks] * len(_SEGMENTS))
+
+    inner = 2
+    txn_types = (
+        TransactionTypeSpec(
+            type_id=0,
+            name="NewOrder",
+            weight=45.0,
+            # Paths begin with the type's private entry segment: the first
+            # instructions of a transaction are type-distinctive, which is
+            # the property SLICC-Pp's scout core relies on (Section 4.3.1).
+            # Revisits (A0...A0, S0...S0) give the A-B-C-A intra-thread
+            # reuse of Figure 4.
+            path=_path(
+                [
+                    ("A0_neworder", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("S1_lock", 1.0, inner),
+                    ("A1_neworder", 1.0, inner),
+                    ("S4_catalog", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("A1_neworder", 0.7, inner),
+                    ("S2_log", 1.0, inner),
+                    ("S5_xct", 1.0, inner),
+                    ("A0_neworder", 1.0, inner),
+                    ("S2_log", 0.5, inner),
+                    ("S0_btree", 1.0, inner),
+                ]
+            ),
+        ),
+        TransactionTypeSpec(
+            type_id=1,
+            name="Payment",
+            weight=43.0,
+            path=_path(
+                [
+                    ("B0_payment", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("S1_lock", 1.0, inner),
+                    ("B1_payment", 1.0, inner),
+                    ("S3_buffer", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("B0_payment", 0.6, inner),
+                    ("S2_log", 1.0, inner),
+                    ("S5_xct", 1.0, inner),
+                    ("B1_payment", 0.5, inner),
+                    ("S0_btree", 1.0, inner),
+                ]
+            ),
+        ),
+        TransactionTypeSpec(
+            type_id=2,
+            name="OrderStatus",
+            weight=4.0,
+            path=_path(
+                [
+                    ("C0_orderstatus", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("S3_buffer", 1.0, inner),
+                    ("C1_orderstatus", 1.0, inner),
+                    ("S4_catalog", 1.0, inner),
+                    ("C0_orderstatus", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                ]
+            ),
+        ),
+        TransactionTypeSpec(
+            type_id=3,
+            name="Delivery",
+            weight=4.0,
+            path=_path(
+                [
+                    ("D0_delivery", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("S1_lock", 1.0, inner),
+                    ("D1_delivery", 1.0, inner),
+                    ("S2_log", 1.0, inner),
+                    ("S5_xct", 1.0, inner),
+                    ("D0_delivery", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                ]
+            ),
+        ),
+        TransactionTypeSpec(
+            type_id=4,
+            name="StockLevel",
+            weight=4.0,
+            path=_path(
+                [
+                    ("E0_stocklevel", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                    ("S3_buffer", 1.0, inner),
+                    ("E1_stocklevel", 1.0, inner),
+                    ("S4_catalog", 1.0, inner),
+                    ("E0_stocklevel", 1.0, inner),
+                    ("S0_btree", 1.0, inner),
+                ]
+            ),
+        ),
+    )
+
+    if warehouses == 1:
+        data = DataSpec(
+            accesses_per_iblock=0.45,
+            hot_private_blocks=6,
+            shared_hot_blocks=96,
+            hot_private_frac=0.40,
+            shared_frac=0.25,
+            store_frac=0.45,
+            private_region_blocks=4096,
+        )
+        name = "tpcc-1"
+    else:
+        # TPC-C-10: bigger database, less inter-thread data sharing and
+        # less per-thread locality (Section 5.5).
+        data = DataSpec(
+            accesses_per_iblock=0.45,
+            hot_private_blocks=4,
+            shared_hot_blocks=512,
+            hot_private_frac=0.25,
+            shared_frac=0.08,
+            store_frac=0.45,
+            private_region_blocks=16384,
+        )
+        name = "tpcc-10"
+
+    return WorkloadSpec(name=name, segments=tuple(segments), txn_types=txn_types, data=data)

@@ -1,0 +1,101 @@
+"""TPC-E workload model (Table 1: brokerage house, 1000 customers).
+
+TPC-E differs from TPC-C in the ways the paper's results hinge on:
+
+* **more transaction types** (ten, with the standard TPC-E mix) so the
+  total code footprint (25 segments, ~700KB at CI scale) exceeds even a
+  512KB L1-I — this is what lets SLICC beat the PIF upper bound by
+  pipelining same-type threads while PIF's big private cache still
+  thrashes (Section 5.6);
+* **shorter per-type paths with more inner-loop reuse**, giving a lower
+  baseline I-MPKI than TPC-C (Figure 10);
+* **fewer stray threads** (3% vs 12%): every type has nonzero weight and
+  the mix is flatter, so teams form more easily.
+"""
+
+from __future__ import annotations
+
+from repro.params import ScalePreset
+from repro.workloads.spec import (
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    layout_segments,
+)
+
+#: (name, mix weight %) — the TPC-E transaction mix.
+_TYPES = (
+    ("TradeOrder", 10.1),
+    ("TradeResult", 10.0),
+    ("TradeLookup", 8.0),
+    ("TradeStatus", 19.0),
+    ("TradeUpdate", 2.0),
+    ("CustomerPosition", 13.0),
+    ("BrokerVolume", 4.9),
+    ("SecurityDetail", 14.0),
+    ("MarketFeed", 1.0),
+    ("MarketWatch", 18.0),
+)
+
+#: Shared storage-manager / middleware segments.
+_N_SHARED = 5
+
+_SEGMENT_BLOCKS = {
+    ScalePreset.SMOKE: 56,
+    ScalePreset.CI: 448,
+    ScalePreset.PAPER: 448,
+}
+
+
+def make_tpce(scale: ScalePreset = ScalePreset.CI) -> WorkloadSpec:
+    """Build the TPC-E workload spec."""
+    seg_blocks = _SEGMENT_BLOCKS[scale]
+    n_types = len(_TYPES)
+    # Layout: segments 0.._N_SHARED-1 shared, then one private per type.
+    # Total footprint (15 segments, ~420KB at CI scale) fits the chip's
+    # aggregate L1-I capacity, so a SLICC collective can serve the whole
+    # mix; a private 512KB PIF cache holds it too but *every core* must
+    # fetch its own copy — the per-core redundancy Section 5.6 blames for
+    # PIF trailing SLICC-SW on TPC-E.
+    n_segments = _N_SHARED + n_types
+    segments = layout_segments([seg_blocks] * n_segments)
+
+    inner = 3
+    txn_types = []
+    for idx, (name, weight) in enumerate(_TYPES):
+        private0 = _N_SHARED + idx
+        # Each type leans on a different pair of shared segments so shared
+        # code is common across types without every type touching all of it.
+        shared_a = idx % _N_SHARED
+        shared_b = (idx + 2) % _N_SHARED
+        # Paths start with the type's private segment so the first
+        # instructions are type-distinctive (needed by SLICC-Pp's scout).
+        path = (
+            PathStep(seg_id=private0, inner_iterations=inner),
+            PathStep(seg_id=shared_a, inner_iterations=inner),
+            PathStep(seg_id=shared_b, inner_iterations=inner),
+            PathStep(seg_id=private0, probability=0.85, inner_iterations=inner),
+            PathStep(seg_id=shared_a, inner_iterations=inner),
+        )
+        txn_types.append(
+            TransactionTypeSpec(
+                type_id=idx, name=name, weight=weight, path=path
+            )
+        )
+
+    data = DataSpec(
+        accesses_per_iblock=0.45,
+        hot_private_blocks=6,
+        shared_hot_blocks=128,
+        hot_private_frac=0.40,
+        shared_frac=0.20,
+        store_frac=0.45,
+        private_region_blocks=8192,
+    )
+    return WorkloadSpec(
+        name="tpce",
+        segments=tuple(segments),
+        txn_types=tuple(txn_types),
+        data=data,
+    )

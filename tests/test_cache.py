@@ -1,0 +1,168 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.cache import SetAssociativeCache
+from repro.errors import ConfigurationError
+from repro.params import CacheParams
+
+
+def make(size=4 * 1024, assoc=4, policy="lru"):
+    return SetAssociativeCache(
+        CacheParams(size_bytes=size, assoc=assoc, policy=policy)
+    )
+
+
+class TestGeometry:
+    def test_sets_and_blocks(self):
+        cache = make()
+        assert cache.n_sets == 16
+        assert cache.params.n_blocks == 64
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(size_bytes=1000, assoc=4)
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(size_bytes=3 * 64 * 4, assoc=4)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheParams(size_bytes=-64)
+
+
+class TestAccess:
+    def test_first_access_misses(self):
+        cache = make()
+        assert not cache.access(0).hit
+
+    def test_second_access_hits(self):
+        cache = make()
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_distinct_blocks_tracked_separately(self):
+        cache = make()
+        cache.access(0)
+        assert not cache.access(16).hit
+        assert cache.access(0).hit
+        assert cache.access(16).hit
+
+    def test_miss_fills_empty_way_without_victim(self):
+        cache = make()
+        result = cache.access(5)
+        assert result.victim is None
+
+    def test_eviction_after_set_overflow(self):
+        cache = make(assoc=2)
+        # Blocks 0, 32, 64 all map to set 0 of a 32-set, 2-way cache.
+        n_sets = cache.n_sets
+        cache.access(0)
+        cache.access(n_sets)
+        result = cache.access(2 * n_sets)
+        assert result.victim == 0  # LRU victim
+
+    def test_lru_order_respects_hits(self):
+        cache = make(assoc=2)
+        n_sets = cache.n_sets
+        cache.access(0)
+        cache.access(n_sets)
+        cache.access(0)  # 0 becomes MRU
+        result = cache.access(2 * n_sets)
+        assert result.victim == n_sets
+
+    def test_bypass_access_counts_miss_but_does_not_fill(self):
+        cache = make()
+        result = cache.access(7, fill=False)
+        assert not result.hit
+        assert not cache.probe(7)
+        assert cache.stats.misses == 1
+
+    def test_stats_accumulate(self):
+        cache = make()
+        cache.access(0)
+        cache.access(0)
+        cache.access(1)
+        assert cache.stats.accesses == 3
+        assert cache.stats.misses == 2
+        assert cache.stats.hits == 1
+
+
+class TestSideChannels:
+    def test_probe_is_non_modifying(self):
+        cache = make()
+        assert not cache.probe(3)
+        assert cache.stats.accesses == 0
+
+    def test_install_counts_as_prefetch(self):
+        cache = make()
+        cache.install(9)
+        assert cache.probe(9)
+        assert cache.stats.prefetch_fills == 1
+        assert cache.stats.accesses == 0
+
+    def test_install_resident_block_is_noop(self):
+        cache = make()
+        cache.access(9)
+        assert cache.install(9) is None
+        assert cache.stats.prefetch_fills == 0
+
+    def test_invalidate_removes_block(self):
+        cache = make()
+        cache.access(4)
+        assert cache.invalidate(4)
+        assert not cache.probe(4)
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_absent_block_returns_false(self):
+        cache = make()
+        assert not cache.invalidate(4)
+
+    def test_eviction_callback_fires(self):
+        evicted = []
+        cache = SetAssociativeCache(
+            CacheParams(size_bytes=4 * 1024, assoc=2),
+            on_evict=evicted.append,
+        )
+        n_sets = cache.n_sets
+        cache.access(0)
+        cache.access(n_sets)
+        cache.access(2 * n_sets)
+        assert evicted == [0]
+
+    def test_flush_empties_cache(self):
+        cache = make()
+        for b in range(10):
+            cache.access(b)
+        cache.flush()
+        assert cache.occupancy() == 0
+
+    def test_resident_blocks_iterates_contents(self):
+        cache = make()
+        for b in (1, 2, 3):
+            cache.access(b)
+        assert sorted(cache.resident_blocks()) == [1, 2, 3]
+
+    def test_contains_dunder(self):
+        cache = make()
+        cache.access(12)
+        assert 12 in cache
+        assert 13 not in cache
+
+
+class TestCapacity:
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = make()
+        for b in range(1000):
+            cache.access(b)
+        assert cache.occupancy() <= cache.params.n_blocks
+
+    def test_working_set_within_capacity_never_evicts(self):
+        cache = make()
+        blocks = range(cache.params.n_blocks)
+        for b in blocks:
+            cache.access(b)
+        for b in blocks:
+            assert cache.access(b).hit
+        assert cache.stats.evictions == 0

@@ -1,0 +1,56 @@
+"""Tests for the latency model and cache statistics."""
+
+import pytest
+
+from repro.cache import CacheStats, latency_for_size
+
+
+class TestLatencyModel:
+    def test_anchor_is_three_cycles(self):
+        assert latency_for_size(32 * 1024) == 3
+
+    def test_monotone_in_size(self):
+        sizes = [16, 32, 64, 128, 256, 512]
+        lats = [latency_for_size(s * 1024) for s in sizes]
+        assert lats == sorted(lats)
+
+    def test_512k_slower_than_32k(self):
+        assert latency_for_size(512 * 1024) > latency_for_size(32 * 1024)
+
+    def test_minimum_two_cycles(self):
+        assert latency_for_size(1024) >= 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            latency_for_size(0)
+
+
+class TestCacheStats:
+    def test_hits_derived(self):
+        s = CacheStats(accesses=10, misses=3)
+        assert s.hits == 7
+
+    def test_miss_ratio(self):
+        s = CacheStats(accesses=10, misses=3)
+        assert s.miss_ratio == pytest.approx(0.3)
+
+    def test_miss_ratio_empty(self):
+        assert CacheStats().miss_ratio == 0.0
+
+    def test_mpki(self):
+        s = CacheStats(accesses=100, misses=5)
+        assert s.mpki(instructions=1000) == pytest.approx(5.0)
+
+    def test_mpki_zero_instructions(self):
+        assert CacheStats(misses=5).mpki(0) == 0.0
+
+    def test_reset(self):
+        s = CacheStats(accesses=10, misses=3, evictions=2)
+        s.reset()
+        assert s.accesses == 0 and s.misses == 0 and s.evictions == 0
+
+    def test_merged(self):
+        a = CacheStats(accesses=10, misses=3)
+        b = CacheStats(accesses=5, misses=1, invalidations=2)
+        m = a.merged(b)
+        assert m.accesses == 15 and m.misses == 4 and m.invalidations == 2

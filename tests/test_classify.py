@@ -1,0 +1,81 @@
+"""Tests for three-C miss classification (Figure 1 substrate)."""
+
+import pytest
+
+from repro.cache import MissClass, MissClassifier, SetAssociativeCache
+from repro.params import CacheParams
+
+
+class TestClassifier:
+    def test_first_touch_is_compulsory(self):
+        c = MissClassifier(capacity_blocks=4)
+        assert c.observe(1, hit=False) is MissClass.COMPULSORY
+
+    def test_hit_returns_none(self):
+        c = MissClassifier(capacity_blocks=4)
+        c.observe(1, hit=False)
+        assert c.observe(1, hit=True) is None
+
+    def test_capacity_miss_when_shadow_also_evicted(self):
+        c = MissClassifier(capacity_blocks=2)
+        c.observe(1, hit=False)
+        c.observe(2, hit=False)
+        c.observe(3, hit=False)  # evicts 1 from the shadow
+        assert c.observe(1, hit=False) is MissClass.CAPACITY
+
+    def test_conflict_miss_when_shadow_retains(self):
+        c = MissClassifier(capacity_blocks=8)
+        c.observe(1, hit=False)
+        c.observe(2, hit=False)
+        # Real cache missed (set conflict) but the fully-assoc shadow of
+        # capacity 8 still holds block 1.
+        assert c.observe(1, hit=False) is MissClass.CONFLICT
+
+    def test_counts_and_total(self):
+        c = MissClassifier(capacity_blocks=2)
+        c.observe(1, hit=False)
+        c.observe(2, hit=False)
+        c.observe(1, hit=False)
+        assert c.total_misses == 3
+        assert c.counts[MissClass.COMPULSORY] == 2
+
+    def test_mpki(self):
+        c = MissClassifier(capacity_blocks=2)
+        c.observe(1, hit=False)
+        assert c.mpki(MissClass.COMPULSORY, instructions=1000) == 1.0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MissClassifier(capacity_blocks=0)
+
+
+class TestAgainstRealCache:
+    def test_direct_mapped_conflicts_detected(self):
+        """A direct-mapped cache over an alternating two-block stream that
+        maps to one set produces conflict misses, not capacity misses."""
+        params = CacheParams(size_bytes=1024, assoc=1)
+        cache = SetAssociativeCache(params)
+        classifier = MissClassifier(params.n_blocks)
+        a, b = 0, params.n_sets  # same set, direct mapped
+        for _ in range(10):
+            for block in (a, b):
+                result = cache.access(block)
+                classifier.observe(block, result.hit)
+        assert classifier.counts[MissClass.COMPULSORY] == 2
+        assert classifier.counts[MissClass.CONFLICT] == 18
+        assert classifier.counts[MissClass.CAPACITY] == 0
+
+    def test_cyclic_overflow_is_capacity(self):
+        """A cyclic stream 1.5x the cache produces capacity misses under
+        full associativity pressure — the OLTP instruction pattern."""
+        params = CacheParams(size_bytes=1024, assoc=4)
+        cache = SetAssociativeCache(params)
+        classifier = MissClassifier(params.n_blocks)
+        footprint = int(params.n_blocks * 1.5)
+        for _ in range(5):
+            for block in range(footprint):
+                result = cache.access(block)
+                classifier.observe(block, result.hit)
+        counts = classifier.counts
+        assert counts[MissClass.CAPACITY] > counts[MissClass.CONFLICT]
+        assert counts[MissClass.COMPULSORY] == footprint

@@ -1,0 +1,30 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc", [ConfigurationError, SimulationError, TraceError]
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_catchable_as_family(self):
+        with pytest.raises(ReproError):
+            raise ConfigurationError("bad config")
+
+    def test_not_bare_exception_aliases(self):
+        # Library errors must be distinguishable from builtins.
+        assert not issubclass(ConfigurationError, ValueError)
+
+    def test_messages_preserved(self):
+        err = TraceError("thread 3: addr/kind mismatch")
+        assert "thread 3" in str(err)

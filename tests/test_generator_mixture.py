@@ -1,0 +1,87 @@
+"""Statistical tests on the generator's data-stream mixture.
+
+The DataSpec fractions drive the Figure 1 data-miss shape (compulsory
+domination) and the Section 5.5 migration costs, so the generator must
+honour them within sampling error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.params import ScalePreset
+from repro.workloads import get_workload
+from repro.workloads.generator import (
+    COLD_RUN_LENGTH,
+    SHARED_DATA_BASE,
+    _data_stream,
+)
+from repro.workloads.spec import DATA_BLOCK_BASE
+from repro.workloads.trace import KIND_STORE
+
+
+@pytest.fixture
+def spec():
+    return get_workload("tpcc-1", ScalePreset.CI)
+
+
+def classify(spec, thread_id, addrs):
+    data = spec.data
+    private_base = DATA_BLOCK_BASE + thread_id * data.private_region_blocks
+    hot_end = private_base + data.hot_private_blocks
+    hot = ((addrs >= private_base) & (addrs < hot_end)).sum()
+    shared = (
+        (addrs >= SHARED_DATA_BASE)
+        & (addrs < SHARED_DATA_BASE + data.shared_hot_blocks)
+    ).sum()
+    cold = len(addrs) - hot - shared
+    return int(hot), int(shared), int(cold)
+
+
+class TestDataMixture:
+    def test_fractions_respected(self, spec):
+        rng = np.random.default_rng(0)
+        n = 20000
+        addrs, _ = _data_stream(spec, thread_id=3, n_data=n, rng=rng)
+        hot, shared, cold = classify(spec, 3, addrs)
+        assert hot / n == pytest.approx(spec.data.hot_private_frac, abs=0.02)
+        assert shared / n == pytest.approx(spec.data.shared_frac, abs=0.02)
+
+    def test_store_fraction(self, spec):
+        rng = np.random.default_rng(1)
+        _, kinds = _data_stream(spec, thread_id=0, n_data=20000, rng=rng)
+        frac = (kinds == KIND_STORE).mean()
+        assert frac == pytest.approx(spec.data.store_frac, abs=0.02)
+
+    def test_cold_stream_run_length(self, spec):
+        """Cold blocks repeat COLD_RUN_LENGTH times before advancing, so
+        unique cold blocks ~= cold accesses / run length."""
+        rng = np.random.default_rng(2)
+        n = 30000
+        addrs, _ = _data_stream(spec, thread_id=0, n_data=n, rng=rng)
+        data = spec.data
+        cold_base = (
+            DATA_BLOCK_BASE + 0 * data.private_region_blocks
+            + data.hot_private_blocks
+        )
+        cold = addrs[addrs >= cold_base]
+        cold = cold[cold < DATA_BLOCK_BASE + data.private_region_blocks]
+        expected_unique = len(cold) / COLD_RUN_LENGTH
+        assert len(np.unique(cold)) == pytest.approx(expected_unique, rel=0.1)
+
+    def test_threads_have_disjoint_private_regions(self, spec):
+        rng = np.random.default_rng(3)
+        a, _ = _data_stream(spec, thread_id=0, n_data=5000, rng=rng)
+        b, _ = _data_stream(spec, thread_id=1, n_data=5000, rng=rng)
+        shared_top = SHARED_DATA_BASE + spec.data.shared_hot_blocks
+        a_private = set(a[a >= DATA_BLOCK_BASE].tolist())
+        b_private = set(b[b >= DATA_BLOCK_BASE].tolist())
+        assert not (a_private & b_private)
+        # Shared region genuinely shared.
+        assert set(a[(a >= SHARED_DATA_BASE) & (a < shared_top)].tolist()) & set(
+            b[(b >= SHARED_DATA_BASE) & (b < shared_top)].tolist()
+        )
+
+    def test_zero_data_records(self, spec):
+        rng = np.random.default_rng(4)
+        addrs, kinds = _data_stream(spec, thread_id=0, n_data=0, rng=rng)
+        assert len(addrs) == 0 and len(kinds) == 0

@@ -1,0 +1,117 @@
+"""Tests for the torus interconnect and the MESI-lite directory."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.coherence import Directory
+from repro.errors import ConfigurationError
+from repro.interconnect import Torus2D
+from repro.params import CacheParams
+
+
+class TestTorus:
+    def test_self_distance_zero(self):
+        t = Torus2D(4)
+        assert all(t.hops(i, i) == 0 for i in range(16))
+
+    def test_neighbour_distance_one(self):
+        t = Torus2D(4)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 4) == 1
+
+    def test_wraparound(self):
+        t = Torus2D(4)
+        assert t.hops(0, 3) == 1  # wraps horizontally
+        assert t.hops(0, 12) == 1  # wraps vertically
+
+    def test_max_distance_on_4x4(self):
+        t = Torus2D(4)
+        assert max(t.hops(0, b) for b in range(16)) == 4
+
+    def test_symmetry(self):
+        t = Torus2D(4)
+        for a in range(16):
+            for b in range(16):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 15))
+    def test_triangle_inequality(self, a, b, c):
+        t = Torus2D(4)
+        assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+
+    def test_latency_scales_with_hop_cycles(self):
+        t = Torus2D(4, hop_cycles=3)
+        assert t.latency(0, 2) == 6
+
+    def test_nearest_prefers_closest(self):
+        t = Torus2D(4)
+        assert t.nearest(0, [2, 1, 8]) == 1
+
+    def test_nearest_tie_break_lowest_id(self):
+        t = Torus2D(4)
+        assert t.nearest(0, [4, 1]) == 1
+
+    def test_nearest_empty_raises(self):
+        with pytest.raises(ValueError):
+            Torus2D(4).nearest(0, [])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Torus2D(0)
+
+    def test_broadcast_hops_positive(self):
+        t = Torus2D(4)
+        assert t.broadcast_hops(0) > 0
+
+
+class TestDirectory:
+    def _machine(self, n=4):
+        caches = [
+            SetAssociativeCache(CacheParams(size_bytes=1024, assoc=2))
+            for _ in range(n)
+        ]
+        directory = Directory(caches)
+        for core, cache in enumerate(caches):
+            cache.on_evict = lambda block, c=core: directory.on_evict(c, block)
+        return caches, directory
+
+    def test_read_registers_sharer(self):
+        caches, d = self._machine()
+        caches[0].access(7)
+        d.on_read(0, 7)
+        assert d.sharers_of(7) == {0}
+
+    def test_write_invalidates_remote_copies(self):
+        caches, d = self._machine()
+        for core in (0, 1, 2):
+            caches[core].access(7)
+            d.on_read(core, 7)
+        invalidated = d.on_write(0, 7)
+        assert invalidated == 2
+        assert not caches[1].probe(7)
+        assert not caches[2].probe(7)
+        assert caches[0].probe(7)
+        assert d.sharers_of(7) == {0}
+
+    def test_write_by_sole_owner_invalidates_nothing(self):
+        caches, d = self._machine()
+        caches[0].access(7)
+        d.on_write(0, 7)
+        assert d.on_write(0, 7) == 0
+
+    def test_eviction_removes_sharer(self):
+        caches, d = self._machine()
+        caches[0].access(7)
+        d.on_read(0, 7)
+        caches[0].invalidate(7)  # fires on_evict via callback
+        assert d.sharers_of(7) == frozenset()
+
+    def test_invalidations_counted(self):
+        caches, d = self._machine()
+        for core in (0, 1):
+            caches[core].access(9)
+            d.on_read(core, 9)
+        d.on_write(0, 9)
+        assert d.invalidations_sent == 1

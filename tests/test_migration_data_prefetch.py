@@ -1,0 +1,67 @@
+"""Tests for the migration data prefetcher (Section 5.5 mitigation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import ScalePreset
+from repro.prefetch.migration_data import MigrationDataPrefetcher
+from repro.sim import SimConfig, simulate
+from repro.workloads import standard_trace
+
+
+class TestUnit:
+    def test_history_keeps_last_n(self):
+        pf = MigrationDataPrefetcher(n_blocks=3)
+        for b in (1, 2, 3, 4):
+            pf.record_access(0, b)
+        assert pf.blocks_for_migration(0) == [4, 3, 2]
+
+    def test_most_recent_first_and_deduped(self):
+        pf = MigrationDataPrefetcher(n_blocks=4)
+        for b in (7, 8, 7, 9):
+            pf.record_access(0, b)
+        assert pf.blocks_for_migration(0) == [9, 7, 8]
+
+    def test_per_thread_isolation(self):
+        pf = MigrationDataPrefetcher(n_blocks=2)
+        pf.record_access(0, 1)
+        pf.record_access(1, 2)
+        assert pf.blocks_for_migration(0) == [1]
+        assert pf.blocks_for_migration(1) == [2]
+
+    def test_empty_history(self):
+        pf = MigrationDataPrefetcher()
+        assert pf.blocks_for_migration(5) == []
+
+    def test_usefulness_tracking(self):
+        pf = MigrationDataPrefetcher(n_blocks=2)
+        pf.record_access(0, 1)
+        pf.record_access(0, 2)
+        pf.blocks_for_migration(0)
+        assert pf.note_demand(0, 1)
+        assert not pf.note_demand(0, 1)  # consumed once
+        assert pf.accuracy == pytest.approx(0.5)
+
+    def test_rejects_nonpositive_n(self):
+        with pytest.raises(ConfigurationError):
+            MigrationDataPrefetcher(0)
+
+
+class TestEngineIntegration:
+    def test_prefetch_does_not_change_completion(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        r = simulate(
+            trace, config=SimConfig(variant="slicc", data_prefetch_n=8)
+        )
+        assert r.threads_completed == len(trace.threads)
+
+    def test_paper_negative_result_direction(self):
+        """The paper found the mitigation unhelpful: prefetching the last
+        n data blocks to the migration target must not speed things up
+        meaningfully (and usually slows them down via bandwidth)."""
+        trace = standard_trace("tpcc-1", ScalePreset.CI, n_threads=16)
+        plain = simulate(trace, config=SimConfig(variant="slicc"))
+        with_pf = simulate(
+            trace, config=SimConfig(variant="slicc", data_prefetch_n=16)
+        )
+        assert with_pf.cycles >= plain.cycles * 0.97

@@ -1,0 +1,85 @@
+"""Tests for the banked NUCA L2 model."""
+
+import pytest
+
+from repro.cache.nuca import NucaL2
+from repro.errors import ConfigurationError
+from repro.interconnect import Torus2D
+from repro.params import ScalePreset
+from repro.sim import SimConfig, simulate
+from repro.workloads import standard_trace
+
+
+def make_nuca(**kw):
+    return NucaL2(Torus2D(4), **kw)
+
+
+class TestNucaL2:
+    def test_capacity_is_16mb(self):
+        nuca = make_nuca()
+        assert nuca.capacity_blocks == 16 * 1024 * 1024 // 64
+
+    def test_bank_interleaving(self):
+        nuca = make_nuca()
+        assert nuca.bank_of(0) == 0
+        assert nuca.bank_of(1) == 1
+        assert nuca.bank_of(16) == 0
+
+    def test_first_access_misses_then_hits(self):
+        nuca = make_nuca()
+        hit, _ = nuca.access(core=0, block=100)
+        assert not hit
+        hit, _ = nuca.access(core=0, block=100)
+        assert hit
+
+    def test_latency_includes_round_trip(self):
+        nuca = make_nuca()
+        nuca.access(0, 0)  # bank 0, local to core 0
+        _, local = nuca.access(0, 0)
+        # Block 10 homes in bank 10; core 0 <-> node 10 is 3 hops.
+        nuca.access(0, 10)
+        _, remote = nuca.access(0, 10)
+        assert remote > local
+        assert local == 16  # zero-distance round trip
+
+    def test_distinct_blocks_same_bank_coexist(self):
+        nuca = make_nuca()
+        nuca.access(0, 0)
+        nuca.access(0, 16)
+        assert nuca.probe(0) and nuca.probe(16)
+
+    def test_bank_count_must_match_torus(self):
+        with pytest.raises(ConfigurationError):
+            NucaL2(Torus2D(4), n_banks=8)
+
+    def test_stats_aggregate(self):
+        nuca = make_nuca()
+        nuca.access(0, 0)
+        nuca.access(0, 0)
+        stats = nuca.stats()
+        assert stats.accesses == 2 and stats.misses == 1
+
+
+class TestEngineWithNuca:
+    def test_results_close_to_infinite_l2(self):
+        """Footprints are far below 16MB, so the finite model must agree
+        closely with the infinite approximation on miss counts. (Not
+        exactly: different L2 latencies shift the thread interleaving,
+        which perturbs placement and coherence timing slightly.)"""
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        flat = simulate(trace, config=SimConfig(variant="base"))
+        nuca = simulate(
+            trace, config=SimConfig(variant="base", model_l2_capacity=True)
+        )
+        assert nuca.i_misses == pytest.approx(flat.i_misses, rel=0.05)
+        assert nuca.d_misses == pytest.approx(flat.d_misses, rel=0.05)
+        assert nuca.threads_completed == flat.threads_completed
+
+    def test_nuca_distance_costs_cycles(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        flat = simulate(trace, config=SimConfig(variant="base"))
+        nuca = simulate(
+            trace, config=SimConfig(variant="base", model_l2_capacity=True)
+        )
+        # Remote-bank round trips make the NUCA run at least as slow.
+        assert nuca.cycles >= flat.cycles

@@ -1,0 +1,76 @@
+"""Tests for parameter validation and the public package surface."""
+
+import pytest
+
+import repro
+from repro.errors import ConfigurationError
+from repro.params import (
+    CacheParams,
+    ScalePreset,
+    SliccParams,
+    SystemParams,
+)
+
+
+class TestSystemParams:
+    def test_defaults_match_table2(self):
+        s = SystemParams()
+        assert s.n_cores == 16
+        assert s.torus_width == 4
+        assert s.l1i.size_bytes == 32 * 1024
+        assert s.l1i.assoc == 8
+        assert s.l1i.block_size == 64
+        assert s.l2_hit_latency == 16
+
+    def test_torus_core_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(n_cores=16, torus_width=3)
+
+    def test_overlap_bounds_enforced(self):
+        with pytest.raises(ConfigurationError):
+            SystemParams(load_overlap=1.5)
+
+
+class TestSliccParams:
+    def test_defaults_match_section_52(self):
+        p = SliccParams()
+        assert p.fill_up_t == 256
+        assert p.matched_t == 4
+        assert p.dilution_t == 10
+        assert p.bloom_bits == 2048
+        assert p.msv_window == 100
+
+    def test_bad_thresholds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SliccParams(fill_up_t=0)
+        with pytest.raises(ConfigurationError):
+            SliccParams(matched_t=0)
+        with pytest.raises(ConfigurationError):
+            SliccParams(dilution_t=200)
+        with pytest.raises(ConfigurationError):
+            SliccParams(bloom_bits=1000)
+
+
+class TestCacheParamsScaled:
+    def test_scaled_changes_size(self):
+        p = CacheParams().scaled(64 * 1024)
+        assert p.size_bytes == 64 * 1024
+        assert p.hit_latency == 3
+
+    def test_scaled_with_latency(self):
+        p = CacheParams().scaled(64 * 1024, hit_latency=5)
+        assert p.hit_latency == 5
+
+
+class TestPublicApi:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_surface(self):
+        trace = repro.standard_trace("mapreduce", ScalePreset.SMOKE)
+        result = repro.simulate(trace, variant="base")
+        assert result.cycles > 0
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name

@@ -1,0 +1,126 @@
+"""Unit + property tests for the replacement policies (Figure 2 set)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.cache.policies import make_policy, policy_names
+from repro.params import CacheParams
+
+ALL_POLICIES = ["lru", "lip", "bip", "dip", "srrip", "brrip", "drrip"]
+
+
+def make(policy, size=4 * 1024, assoc=4):
+    return SetAssociativeCache(
+        CacheParams(size_bytes=size, assoc=assoc, policy=policy)
+    )
+
+
+class TestRegistry:
+    def test_all_seven_policies_registered(self):
+        assert set(ALL_POLICIES) <= set(policy_names())
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(KeyError):
+            make_policy("clock", 16, 4)
+
+
+@pytest.mark.parametrize("policy", ALL_POLICIES)
+class TestPolicyContract:
+    """Behavioural contract every policy must obey."""
+
+    def test_resident_block_always_hits(self, policy):
+        cache = make(policy)
+        cache.access(0)
+        assert cache.access(0).hit
+
+    def test_full_set_evicts_exactly_one(self, policy):
+        cache = make(policy, assoc=2)
+        n_sets = cache.n_sets
+        cache.access(0)
+        cache.access(n_sets)
+        result = cache.access(2 * n_sets)
+        assert result.victim in (0, n_sets)
+
+    def test_occupancy_bounded(self, policy):
+        cache = make(policy)
+        for b in range(500):
+            cache.access(b)
+        assert cache.occupancy() <= cache.params.n_blocks
+
+    def test_invalidate_then_refill(self, policy):
+        cache = make(policy)
+        cache.access(3)
+        cache.invalidate(3)
+        assert not cache.access(3).hit
+        assert cache.access(3).hit
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=255), max_size=300))
+    def test_random_streams_keep_invariants(self, policy, stream):
+        cache = make(policy, assoc=4)
+        resident = set()
+        for block in stream:
+            result = cache.access(block)
+            assert result.hit == (block in resident)
+            if not result.hit:
+                resident.add(block)
+                if result.victim is not None:
+                    resident.discard(result.victim)
+        assert resident == set(cache.resident_blocks())
+
+
+class TestThrashBehaviour:
+    """LIP/BIP must beat LRU on a cyclic working set larger than the
+    cache — the scenario Qureshi et al. designed them for, and the reason
+    the paper evaluates them (Section 2.1.2)."""
+
+    def _cyclic_misses(self, policy, laps=40):
+        cache = make(policy, size=4 * 1024, assoc=4)
+        footprint = int(cache.params.n_blocks * 1.5)
+        for _ in range(laps):
+            for b in range(footprint):
+                cache.access(b * cache.n_sets)  # same set pressure
+        return cache.stats.misses
+
+    def test_lip_beats_lru_on_thrash(self):
+        assert self._cyclic_misses("lip") < self._cyclic_misses("lru")
+
+    def test_bip_beats_lru_on_thrash(self):
+        assert self._cyclic_misses("bip") < self._cyclic_misses("lru")
+
+    def test_brrip_beats_srrip_on_thrash(self):
+        assert self._cyclic_misses("brrip") < self._cyclic_misses("srrip")
+
+    def test_lru_perfect_on_fitting_set(self):
+        cache = make("lru")
+        blocks = range(cache.params.n_blocks)
+        for _ in range(3):
+            for b in blocks:
+                cache.access(b)
+        # Only the cold pass misses.
+        assert cache.stats.misses == cache.params.n_blocks
+
+
+class TestDueling:
+    def test_dip_tracks_winner_on_thrash(self):
+        # On a thrashing stream DIP should not do worse than LRU by more
+        # than the leader-set overhead.
+        lru = make("lru", assoc=4)
+        dip = make("dip", assoc=4)
+        footprint = int(lru.params.n_blocks * 1.5)
+        for _ in range(30):
+            for b in range(footprint):
+                lru.access(b)
+                dip.access(b)
+        assert dip.stats.misses <= lru.stats.misses * 1.05
+
+    def test_drrip_prefers_brrip_on_thrash(self):
+        cache = make("drrip", assoc=4)
+        footprint = int(cache.params.n_blocks * 1.5)
+        for _ in range(30):
+            for b in range(footprint):
+                cache.access(b)
+        # The paper observes DRRIP choosing BRRIP for OLTP-like thrash.
+        assert cache.policy.chose_brrip_fraction() == 1.0

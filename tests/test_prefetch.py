@@ -1,0 +1,74 @@
+"""Tests for the next-line prefetcher and the PIF upper-bound model."""
+
+from repro.cache import SetAssociativeCache
+from repro.params import CacheParams
+from repro.prefetch import (
+    PIF_STORAGE_BYTES_PER_CORE,
+    NextLinePrefetcher,
+    pif_l1i_params,
+)
+
+
+def make():
+    cache = SetAssociativeCache(CacheParams(size_bytes=4 * 1024, assoc=4))
+    pf = NextLinePrefetcher(cache)
+    cache.on_evict = pf.on_evict
+    return cache, pf
+
+
+class TestNextLine:
+    def test_miss_prefetches_next_block(self):
+        cache, pf = make()
+        assert pf.on_demand_miss(10) == 11
+        assert cache.probe(11)
+
+    def test_no_prefetch_when_next_resident(self):
+        cache, pf = make()
+        cache.access(11)
+        assert pf.on_demand_miss(10) is None
+
+    def test_consume_marks_useful_once(self):
+        cache, pf = make()
+        pf.on_demand_miss(10)
+        assert pf.consume_if_prefetched(11)
+        assert not pf.consume_if_prefetched(11)
+        assert pf.useful == 1
+
+    def test_eviction_cancels_pending(self):
+        cache, pf = make()
+        pf.on_demand_miss(10)
+        cache.invalidate(11)
+        assert not pf.consume_if_prefetched(11)
+
+    def test_accuracy_metric(self):
+        cache, pf = make()
+        pf.on_demand_miss(0)
+        pf.on_demand_miss(100)
+        pf.consume_if_prefetched(1)
+        assert pf.accuracy == 0.5
+
+    def test_sequential_stream_mostly_covered(self):
+        cache, pf = make()
+        misses = 0
+        for b in range(200):
+            result = cache.access(b)
+            if not result.hit:
+                misses += 1
+                pf.on_demand_miss(b)
+        # Every other block arrives via prefetch on a sequential walk.
+        assert misses <= 101
+
+
+class TestPifModel:
+    def test_512kb_at_base_latency(self):
+        base = CacheParams()
+        pif = pif_l1i_params(base)
+        assert pif.size_bytes == 512 * 1024
+        assert pif.hit_latency == base.hit_latency
+
+    def test_storage_constant(self):
+        assert PIF_STORAGE_BYTES_PER_CORE == 40 * 1024
+
+    def test_geometry_still_valid(self):
+        pif = pif_l1i_params(CacheParams())
+        assert pif.n_sets > 0

@@ -1,0 +1,99 @@
+"""Property-based integration tests on the replay engine.
+
+Random miniature workloads, replayed under every variant, must preserve
+the conservation invariants that hold regardless of scheduling: access
+totals, completion counts, and determinism.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import SimConfig, simulate
+from repro.workloads import (
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    generate_trace,
+    layout_segments,
+)
+
+workload_params = st.fixed_dictionaries(
+    {
+        "n_segments": st.integers(min_value=1, max_value=4),
+        "seg_blocks": st.integers(min_value=8, max_value=96),
+        "n_types": st.integers(min_value=1, max_value=3),
+        "path_len": st.integers(min_value=1, max_value=4),
+        "n_threads": st.integers(min_value=2, max_value=10),
+        "seed": st.integers(min_value=0, max_value=2**16),
+    }
+)
+
+
+def build_trace(p):
+    segments = layout_segments([p["seg_blocks"]] * p["n_segments"])
+    types = []
+    for t in range(p["n_types"]):
+        path = tuple(
+            PathStep(seg_id=(t + i) % p["n_segments"], inner_iterations=1)
+            for i in range(p["path_len"])
+        )
+        types.append(
+            TransactionTypeSpec(type_id=t, name=f"t{t}", weight=1.0, path=path)
+        )
+    spec = WorkloadSpec(
+        name="prop",
+        segments=tuple(segments),
+        txn_types=tuple(types),
+        data=DataSpec(accesses_per_iblock=0.3),
+    )
+    return generate_trace(spec, n_threads=p["n_threads"], seed=p["seed"])
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload_params)
+def test_access_conservation_across_variants(p):
+    """Scheduling moves accesses between cores but conserves totals."""
+    trace = build_trace(p)
+    base = simulate(trace, variant="base")
+    for variant in ("slicc", "slicc-sw"):
+        r = simulate(trace, variant=variant)
+        assert r.i_accesses == base.i_accesses
+        assert r.d_accesses == base.d_accesses
+        assert r.threads_completed == len(trace.threads)
+        assert r.instructions == base.instructions
+
+
+@settings(max_examples=10, deadline=None)
+@given(workload_params)
+def test_engine_determinism(p):
+    trace = build_trace(p)
+    a = simulate(trace, variant="slicc")
+    b = simulate(trace, variant="slicc")
+    assert (a.cycles, a.i_misses, a.d_misses, a.migrations) == (
+        b.cycles,
+        b.i_misses,
+        b.d_misses,
+        b.migrations,
+    )
+
+
+@settings(max_examples=10, deadline=None)
+@given(workload_params, st.integers(min_value=1, max_value=200))
+def test_quantum_does_not_break_completion(p, quantum):
+    """Any quantum size must still complete every thread."""
+    trace = build_trace(p)
+    r = simulate(trace, config=SimConfig(variant="slicc", quantum=quantum))
+    assert r.threads_completed == len(trace.threads)
+
+
+@settings(max_examples=10, deadline=None)
+@given(workload_params)
+def test_miss_bounds(p):
+    """Misses can never exceed accesses; MPKI is finite and non-negative."""
+    trace = build_trace(p)
+    for variant in ("base", "nextline", "slicc"):
+        r = simulate(trace, variant=variant)
+        assert 0 <= r.i_misses <= r.i_accesses
+        assert 0 <= r.d_misses <= r.d_accesses
+        assert r.i_mpki >= 0 and r.d_mpki >= 0

@@ -1,0 +1,106 @@
+"""Tests for the partial-address bloom-filter cache signature."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import SetAssociativeCache
+from repro.core import BloomSignature
+from repro.errors import ConfigurationError
+from repro.params import CacheParams
+
+
+def make_pair(bits=512, size=4 * 1024, assoc=4):
+    cache = SetAssociativeCache(CacheParams(size_bytes=size, assoc=assoc))
+    sig = BloomSignature(bits, cache)
+    cache.on_evict = sig.on_evict
+    return cache, sig
+
+
+def wired_access(cache, sig, block):
+    result = cache.access(block)
+    if not result.hit:
+        sig.insert(block)
+    return result
+
+
+class TestBasics:
+    def test_insert_then_probe(self):
+        cache, sig = make_pair()
+        wired_access(cache, sig, 5)
+        assert sig.probe(5)
+
+    def test_absent_block_usually_absent(self):
+        _, sig = make_pair()
+        assert not sig.probe(5)
+
+    def test_no_false_negatives_on_small_fill(self):
+        cache, sig = make_pair()
+        for b in range(32):
+            wired_access(cache, sig, b)
+        for b in range(32):
+            assert sig.probe(b)
+
+    def test_eviction_clears_bit(self):
+        cache, sig = make_pair(assoc=1)
+        n_sets = cache.n_sets
+        wired_access(cache, sig, 0)
+        # Same cache set as block 0, but a distinct filter index (the
+        # filter has more bits than the cache has sets), so the eviction
+        # of 0 must clear its bit.
+        wired_access(cache, sig, n_sets)
+        assert not sig.probe(0)
+
+    def test_eviction_keeps_bit_on_filter_collision(self):
+        cache, sig = make_pair(bits=512, assoc=2)
+        # bits=512: blocks 0 and 512 share filter index 0 *and* live in
+        # the same set; evicting one must keep the bit for the survivor.
+        wired_access(cache, sig, 0)
+        wired_access(cache, sig, 512)
+        cache.invalidate(0)
+        assert sig.probe(512)
+
+    def test_rejects_bits_below_set_count(self):
+        cache = SetAssociativeCache(CacheParams(size_bytes=32 * 1024, assoc=8))
+        with pytest.raises(ConfigurationError):
+            BloomSignature(32, cache)
+
+    def test_rejects_non_power_of_two(self):
+        cache = SetAssociativeCache(CacheParams(size_bytes=4 * 1024, assoc=4))
+        with pytest.raises(ConfigurationError):
+            BloomSignature(500, cache)
+
+    def test_rebuild_matches_contents(self):
+        cache, sig = make_pair()
+        for b in range(100):
+            wired_access(cache, sig, b)
+        sig.rebuild()
+        for b in cache.resident_blocks():
+            assert sig.probe(b)
+
+
+class TestNoFalseNegativesProperty:
+    """The signature is a superset of the cache: a resident block must
+    always probe positive — SLICC's migration predictor relies on it."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), max_size=400))
+    def test_resident_implies_probe(self, stream):
+        cache, sig = make_pair(bits=512)
+        for block in stream:
+            wired_access(cache, sig, block)
+        for block in cache.resident_blocks():
+            assert sig.probe(block)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=4095), max_size=300))
+    def test_accuracy_improves_with_size(self, stream):
+        small_cache, small_sig = make_pair(bits=128)
+        big_cache, big_sig = make_pair(bits=4096)
+        for block in stream:
+            wired_access(small_cache, small_sig, block)
+            wired_access(big_cache, big_sig, block)
+        probes = range(0, 4096, 7)
+        small_ok = sum(small_sig.agreement_check(b) for b in probes)
+        big_ok = sum(big_sig.agreement_check(b) for b in probes)
+        assert big_ok >= small_ok

@@ -1,0 +1,130 @@
+"""Unit + property tests for MC, MSV and MTQ (Section 4.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MissCounter, MissShiftVector, MissedTagQueue
+from repro.errors import ConfigurationError
+
+
+class TestMissCounter:
+    def test_starts_empty(self):
+        mc = MissCounter(4)
+        assert mc.count == 0 and not mc.full
+
+    def test_saturates_at_threshold(self):
+        mc = MissCounter(3)
+        for _ in range(10):
+            mc.record_miss()
+        assert mc.count == 3 and mc.full
+
+    def test_record_returns_full_state(self):
+        mc = MissCounter(2)
+        assert not mc.record_miss()
+        assert mc.record_miss()
+
+    def test_reset(self):
+        mc = MissCounter(2)
+        mc.record_miss(), mc.record_miss()
+        mc.reset()
+        assert mc.count == 0 and not mc.full
+
+    def test_rejects_nonpositive_threshold(self):
+        with pytest.raises(ConfigurationError):
+            MissCounter(0)
+
+    @given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=300))
+    def test_count_never_exceeds_threshold(self, threshold, n):
+        mc = MissCounter(threshold)
+        for _ in range(n):
+            mc.record_miss()
+        assert mc.count == min(n, threshold)
+
+
+class TestMissShiftVector:
+    def test_dilution_threshold(self):
+        msv = MissShiftVector(window=10, dilution_t=3)
+        msv.record(True), msv.record(True)
+        assert not msv.dilution_reached
+        msv.record(True)
+        assert msv.dilution_reached
+
+    def test_old_entries_fall_out(self):
+        msv = MissShiftVector(window=3, dilution_t=2)
+        msv.record(True), msv.record(True)
+        assert msv.dilution_reached
+        msv.record(False), msv.record(False)
+        assert msv.miss_count == 1
+        assert not msv.dilution_reached
+
+    def test_zero_dilution_always_enabled(self):
+        msv = MissShiftVector(window=10, dilution_t=0)
+        assert msv.dilution_reached
+
+    def test_reset(self):
+        msv = MissShiftVector(window=5, dilution_t=1)
+        msv.record(True)
+        msv.reset()
+        assert msv.miss_count == 0 and msv.occupancy == 0
+
+    def test_rejects_dilution_above_window(self):
+        with pytest.raises(ConfigurationError):
+            MissShiftVector(window=10, dilution_t=11)
+
+    @settings(max_examples=50)
+    @given(st.lists(st.booleans(), max_size=250))
+    def test_running_popcount_matches_window(self, bits):
+        msv = MissShiftVector(window=100, dilution_t=10)
+        for bit in bits:
+            msv.record(bit)
+        expected = sum(bits[-100:])
+        assert msv.miss_count == expected
+
+
+class TestMissedTagQueue:
+    def test_not_full_returns_no_candidates(self):
+        mtq = MissedTagQueue(matched_t=3, n_cores=4)
+        mtq.record(0b1111)
+        assert mtq.common_cores() == []
+
+    def test_intersection_of_presence_vectors(self):
+        mtq = MissedTagQueue(matched_t=2, n_cores=4)
+        mtq.record(0b0110)
+        mtq.record(0b0011)
+        assert mtq.common_cores() == [1]
+
+    def test_exclude_local_core(self):
+        mtq = MissedTagQueue(matched_t=1, n_cores=4)
+        mtq.record(0b0110)
+        assert mtq.common_cores(exclude=1) == [2]
+
+    def test_fifo_discards_oldest(self):
+        mtq = MissedTagQueue(matched_t=2, n_cores=4)
+        mtq.record(0b0001)
+        mtq.record(0b1110)
+        mtq.record(0b1110)
+        assert mtq.common_cores() == [1, 2, 3]
+
+    def test_empty_intersection(self):
+        mtq = MissedTagQueue(matched_t=2, n_cores=4)
+        mtq.record(0b0001)
+        mtq.record(0b0010)
+        assert mtq.common_cores() == []
+
+    def test_reset(self):
+        mtq = MissedTagQueue(matched_t=1, n_cores=2)
+        mtq.record(0b11)
+        mtq.reset()
+        assert not mtq.full
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=3, max_size=3)
+    )
+    def test_common_cores_is_and_of_entries(self, masks):
+        mtq = MissedTagQueue(matched_t=3, n_cores=4)
+        for m in masks:
+            mtq.record(m)
+        expected_mask = masks[0] & masks[1] & masks[2]
+        expected = [c for c in range(4) if expected_mask & (1 << c)]
+        assert mtq.common_cores() == expected

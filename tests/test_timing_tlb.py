@@ -1,0 +1,70 @@
+"""Tests for the timing model and the TLB."""
+
+import pytest
+
+from repro.params import SystemParams
+from repro.sim import TimingModel, Tlb
+
+
+class TestTimingModel:
+    def test_instruction_miss_dearer_than_data_miss(self):
+        t = TimingModel(SystemParams())
+        assert t.i_miss(in_l2=True) > t.d_miss(in_l2=True, is_store=False)
+        assert t.i_miss(in_l2=False) > t.d_miss(in_l2=False, is_store=False)
+
+    def test_memory_dearer_than_l2(self):
+        t = TimingModel(SystemParams())
+        assert t.i_miss(in_l2=False) > t.i_miss(in_l2=True)
+        assert t.d_miss(False, False) > t.d_miss(True, False)
+
+    def test_stores_overlap_more_than_loads(self):
+        t = TimingModel(SystemParams())
+        assert t.d_miss(True, is_store=True) <= t.d_miss(True, is_store=False)
+
+    def test_slower_l1i_charges_extra_base(self):
+        sys_params = SystemParams()
+        fast = TimingModel(sys_params, l1i_hit_latency=3)
+        slow = TimingModel(sys_params, l1i_hit_latency=6)
+        assert slow.ibase == fast.ibase + 3
+
+    def test_migration_cost_grows_with_hops(self):
+        t = TimingModel(SystemParams())
+        assert t.migration(4) > t.migration(0)
+        assert t.migration(0) >= SystemParams().migration_context_cycles
+
+    def test_prefetch_late_is_partial(self):
+        t = TimingModel(SystemParams())
+        assert 0 < t.prefetch_late(True) < t.i_miss(True)
+
+
+class TestTlb:
+    def test_first_access_misses(self):
+        tlb = Tlb(4)
+        assert not tlb.access(0)
+
+    def test_same_page_hits(self):
+        tlb = Tlb(4)
+        tlb.access(0)
+        assert tlb.access(1)  # block 1 is in the same 64-block page
+
+    def test_different_page_misses(self):
+        tlb = Tlb(4)
+        tlb.access(0)
+        assert not tlb.access(64)
+
+    def test_lru_eviction(self):
+        tlb = Tlb(2)
+        tlb.access(0)       # page 0
+        tlb.access(64)      # page 1
+        tlb.access(128)     # page 2 evicts page 0
+        assert not tlb.access(0)
+
+    def test_mpki(self):
+        tlb = Tlb(4)
+        tlb.access(0)
+        tlb.access(64)
+        assert tlb.mpki(instructions=1000) == pytest.approx(2.0)
+
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            Tlb(0)

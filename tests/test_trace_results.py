@@ -1,0 +1,110 @@
+"""Tests for trace containers and the results dataclass."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.sim.results import SimulationResult
+from repro.workloads.trace import (
+    KIND_INSTR,
+    KIND_LOAD,
+    KIND_STORE,
+    Trace,
+    ThreadTrace,
+)
+
+
+def make_thread(thread_id=0, txn_type=0, addrs=(1, 2, 3), kinds=None):
+    addrs = np.array(addrs, dtype=np.int64)
+    if kinds is None:
+        kinds = np.zeros(len(addrs), dtype=np.int8) + KIND_INSTR
+    else:
+        kinds = np.array(kinds, dtype=np.int8)
+    return ThreadTrace(thread_id=thread_id, txn_type=txn_type, addr=addrs, kind=kinds)
+
+
+class TestThreadTrace:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TraceError):
+            ThreadTrace(
+                0, 0,
+                addr=np.array([1, 2], dtype=np.int64),
+                kind=np.array([0], dtype=np.int8),
+            )
+
+    def test_record_counts(self):
+        t = make_thread(addrs=(1, 2, 3), kinds=(KIND_INSTR, KIND_LOAD, KIND_STORE))
+        assert len(t) == 3
+        assert t.n_instruction_records == 1
+        assert t.n_data_records == 2
+
+    def test_instruction_blocks_unique(self):
+        t = make_thread(addrs=(5, 5, 7))
+        assert list(t.instruction_blocks()) == [5, 7]
+
+
+class TestTrace:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(TraceError):
+            Trace("w", [], instructions_per_iblock=12, seed=0)
+
+    def test_duplicate_thread_ids_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                "w",
+                [make_thread(0), make_thread(0)],
+                instructions_per_iblock=12,
+                seed=0,
+            )
+
+    def test_aggregates(self):
+        trace = Trace(
+            "w",
+            [make_thread(0), make_thread(1, txn_type=2)],
+            instructions_per_iblock=10,
+            seed=0,
+        )
+        assert len(trace) == 2
+        assert trace.total_records == 6
+        assert trace.total_instructions == 60
+        assert trace.types_present() == [0, 2]
+        assert len(trace.threads_of_type(2)) == 1
+
+
+class TestSimulationResult:
+    def _result(self, **kw):
+        defaults = dict(
+            variant="base", workload="w", cycles=1000, instructions=10000,
+            i_accesses=800, i_misses=40, d_accesses=400, d_misses=10,
+        )
+        defaults.update(kw)
+        return SimulationResult(**defaults)
+
+    def test_mpki_derivation(self):
+        r = self._result()
+        assert r.i_mpki == pytest.approx(4.0)
+        assert r.d_mpki == pytest.approx(1.0)
+        assert r.total_mpki == pytest.approx(5.0)
+
+    def test_zero_instruction_guards(self):
+        r = self._result(instructions=0)
+        assert r.i_mpki == 0.0 and r.bpki == 0.0
+
+    def test_speedup(self):
+        base = self._result(cycles=2000)
+        fast = self._result(cycles=1000)
+        assert fast.speedup_over(base) == pytest.approx(2.0)
+
+    def test_ipc(self):
+        assert self._result().ipc == pytest.approx(10.0)
+
+    def test_instructions_per_migration_infinite_without_migrations(self):
+        assert self._result().instructions_per_migration() == float("inf")
+
+    def test_instruction_stall_share(self):
+        r = self._result(cycles_i_stall=300, cycles_d_stall=100)
+        assert r.instruction_stall_share == pytest.approx(0.75)
+
+    def test_summary_mentions_key_metrics(self):
+        s = self._result().summary()
+        assert "I-MPKI" in s and "w/base" in s

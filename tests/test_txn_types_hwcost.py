@@ -1,0 +1,98 @@
+"""Tests for type detection (Section 4.3.1) and Table 3 cost model."""
+
+from repro.core import (
+    PreambleTypeDetector,
+    SoftwareTypeOracle,
+    slicc_hardware_cost,
+)
+from repro.core.hw_cost import (
+    PIF_STORAGE_BITS,
+    mtq_bits,
+    team_table_bits,
+    thread_queue_bits,
+)
+from repro.params import ScalePreset, SliccParams
+from repro.workloads import standard_trace
+
+
+class TestSoftwareOracle:
+    def test_returns_ground_truth(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        oracle = SoftwareTypeOracle()
+        for thread in trace.threads:
+            assert oracle.type_of(thread) == thread.txn_type
+
+
+class TestPreambleDetector:
+    def test_hundred_percent_accuracy_on_tpcc(self):
+        """The paper reports SLICC-Pp is 100% accurate after a few tens
+        of instructions; the detector must achieve this on our traces."""
+        trace = standard_trace("tpcc-1", ScalePreset.CI, n_threads=24)
+        detector = PreambleTypeDetector()
+        for thread in trace.threads:
+            detector.type_of(thread)
+        assert detector.accuracy() == 1.0
+
+    def test_hundred_percent_accuracy_on_tpce(self):
+        trace = standard_trace("tpce", ScalePreset.CI, n_threads=24)
+        detector = PreambleTypeDetector()
+        for thread in trace.threads:
+            detector.type_of(thread)
+        assert detector.accuracy() == 1.0
+
+    def test_same_type_threads_cluster_together(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        detector = PreambleTypeDetector()
+        clusters = {}
+        for thread in trace.threads:
+            clusters.setdefault(thread.txn_type, set()).add(
+                detector.type_of(thread)
+            )
+        for cluster_ids in clusters.values():
+            assert len(cluster_ids) == 1
+
+    def test_stable_cluster_ids(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        detector = PreambleTypeDetector()
+        first = detector.type_of(trace.threads[0])
+        again = detector.type_of(trace.threads[0])
+        assert first == again
+
+    def test_empty_observation_accuracy_is_one(self):
+        assert PreambleTypeDetector().accuracy() == 1.0
+
+
+class TestTable3:
+    """Exact reproduction of Table 3's storage accounting."""
+
+    def test_mtq_60_bits(self):
+        assert mtq_bits(n_cores=16, matched_t=4) == 60
+
+    def test_thread_queue_1920_bits(self):
+        assert thread_queue_bits() == 1920
+
+    def test_team_table_3600_bits(self):
+        assert team_table_bits() == 3600
+
+    def test_cache_monitor_subtotal_2208_bits(self):
+        cost = slicc_hardware_cost(SliccParams(), n_cores=16)
+        assert cost.cache_monitor_bits == 2208
+
+    def test_grand_total_7728_bits_966_bytes(self):
+        cost = slicc_hardware_cost(SliccParams(), n_cores=16)
+        assert cost.total_bits == 7728
+        assert cost.total_bytes == 966
+
+    def test_relative_to_pif_about_2_4_percent(self):
+        cost = slicc_hardware_cost(SliccParams(), n_cores=16)
+        assert 0.02 < cost.relative_to_pif < 0.03
+
+    def test_oblivious_slicc_skips_team_table(self):
+        cost = slicc_hardware_cost(
+            SliccParams(), n_cores=16, with_team_table=False
+        )
+        assert cost.team_table_bits == 0
+        assert cost.total_bits == 7728 - 3600
+
+    def test_pif_storage_is_40kb(self):
+        assert PIF_STORAGE_BITS == 40 * 1024 * 8

@@ -1,0 +1,172 @@
+"""Tests for workload specs and the trace generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.params import ScalePreset
+from repro.workloads import (
+    KIND_INSTR,
+    KIND_LOAD,
+    KIND_STORE,
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    generate_trace,
+    get_workload,
+    layout_segments,
+    standard_trace,
+    workload_names,
+)
+from repro.workloads.generator import segment_fetch_order
+from repro.workloads.spec import DATA_BLOCK_BASE
+
+
+class TestSpecValidation:
+    def test_layout_segments_non_overlapping(self):
+        segs = layout_segments([100, 200, 50])
+        for a, b in zip(segs, segs[1:]):
+            assert a.base_block + a.n_blocks <= b.base_block
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TransactionTypeSpec(0, "t", 1.0, path=())
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PathStep(seg_id=0, probability=1.5)
+
+    def test_unknown_segment_rejected(self):
+        segs = tuple(layout_segments([10]))
+        txn = TransactionTypeSpec(0, "t", 1.0, (PathStep(seg_id=5),))
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(name="w", segments=segs, txn_types=(txn,))
+
+    def test_data_fraction_overflow_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DataSpec(hot_private_frac=0.7, shared_frac=0.5)
+
+    def test_type_mix_normalised(self):
+        spec = get_workload("tpcc-1")
+        assert sum(spec.type_mix()) == pytest.approx(1.0)
+
+
+class TestStandardWorkloads:
+    def test_four_workloads_available(self):
+        assert workload_names() == ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_workload("tpch")
+
+    def test_tpcc_footprint_exceeds_one_l1(self):
+        spec = get_workload("tpcc-1", ScalePreset.CI)
+        assert spec.footprint_blocks() > 512  # > one 32KB L1-I
+
+    def test_tpcc_total_fits_pif_cache(self):
+        spec = get_workload("tpcc-1", ScalePreset.CI)
+        assert spec.footprint_blocks() < 8192  # < 512KB
+
+    def test_mapreduce_fits_one_l1(self):
+        spec = get_workload("mapreduce", ScalePreset.CI)
+        assert spec.footprint_blocks() <= 512
+
+    def test_tpcc10_same_code_different_data(self):
+        one = get_workload("tpcc-1", ScalePreset.CI)
+        ten = get_workload("tpcc-10", ScalePreset.CI)
+        assert one.segments == ten.segments
+        assert one.data != ten.data
+
+    def test_types_start_with_distinct_segments(self):
+        """SLICC-Pp's scout relies on type-distinct entry code."""
+        for name in ("tpcc-1", "tpce"):
+            spec = get_workload(name, ScalePreset.CI)
+            entries = {t.path[0].seg_id for t in spec.txn_types}
+            assert len(entries) == len(spec.txn_types)
+
+
+class TestGenerator:
+    def test_deterministic_given_seed(self):
+        a = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=11)
+        b = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=11)
+        for ta, tb in zip(a.threads, b.threads):
+            assert np.array_equal(ta.addr, tb.addr)
+            assert np.array_equal(ta.kind, tb.kind)
+
+    def test_different_seeds_differ(self):
+        a = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=1)
+        b = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=2)
+        assert any(
+            not np.array_equal(ta.addr, tb.addr)
+            for ta, tb in zip(a.threads, b.threads)
+        )
+
+    def test_every_weighted_type_present(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE, n_threads=8)
+        assert trace.types_present() == [0, 1, 2, 3, 4]
+
+    def test_instruction_blocks_within_segments(self):
+        spec = get_workload("tpcc-1", ScalePreset.SMOKE)
+        trace = generate_trace(spec, n_threads=4, seed=5)
+        valid = set()
+        for seg in spec.segments:
+            valid.update(range(seg.base_block, seg.base_block + seg.n_blocks))
+        for thread in trace.threads:
+            instr = thread.addr[thread.kind == KIND_INSTR]
+            assert set(int(b) for b in np.unique(instr)) <= valid
+
+    def test_data_blocks_disjoint_from_instructions(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        for thread in trace.threads:
+            data = thread.addr[thread.kind != KIND_INSTR]
+            if len(data):
+                assert int(data.min()) >= DATA_BLOCK_BASE // 2
+
+    def test_store_fraction_near_spec(self):
+        spec = get_workload("tpcc-1", ScalePreset.CI)
+        trace = generate_trace(spec, n_threads=8, seed=3)
+        stores = loads = 0
+        for thread in trace.threads:
+            stores += int((thread.kind == KIND_STORE).sum())
+            loads += int((thread.kind == KIND_LOAD).sum())
+        frac = stores / (stores + loads)
+        assert abs(frac - spec.data.store_frac) < 0.05
+
+    def test_total_instructions_accounting(self):
+        trace = standard_trace("tpcc-1", ScalePreset.SMOKE)
+        records = sum(t.n_instruction_records for t in trace.threads)
+        assert trace.total_instructions == records * trace.instructions_per_iblock
+
+    def test_rejects_nonpositive_threads(self):
+        spec = get_workload("tpcc-1", ScalePreset.SMOKE)
+        with pytest.raises(ConfigurationError):
+            generate_trace(spec, n_threads=0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=1, max_value=12))
+    def test_thread_count_respected(self, n):
+        spec = get_workload("mapreduce", ScalePreset.SMOKE)
+        trace = generate_trace(spec, n_threads=n, seed=1)
+        assert len(trace.threads) == n
+
+
+class TestFetchOrder:
+    def test_permutation_of_segment_blocks(self):
+        order = segment_fetch_order("w", 0, base_block=100, n_blocks=64)
+        assert sorted(order) == list(range(100, 164))
+
+    def test_stable_across_calls(self):
+        a = segment_fetch_order("w2", 1, 0, 128)
+        b = segment_fetch_order("w2", 1, 0, 128)
+        assert np.array_equal(a, b)
+
+    def test_contains_sequential_runs_and_jumps(self):
+        order = segment_fetch_order("w3", 2, 0, 448)
+        deltas = np.diff(order)
+        sequential = int((deltas == 1).sum())
+        jumps = int((deltas != 1).sum())
+        assert sequential > jumps  # mostly sequential runs...
+        assert jumps > 20  # ...but with plenty of branches
