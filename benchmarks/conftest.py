@@ -1,15 +1,21 @@
 """Shared fixtures for the benchmark harness.
 
 Each benchmark regenerates one table or figure of the paper at CI scale
-and prints the measured rows next to the paper's values. Traces and
-baseline runs are session-cached so figures that share a workload don't
-recompute them.
+and prints the measured rows next to the paper's values. All simulation
+goes through one session-wide :class:`repro.exp.Runner`, so figures that
+share a workload reuse traces and baseline runs via the result store,
+and the whole suite fans out over worker processes when
+``REPRO_BENCH_JOBS`` is set (e.g. ``REPRO_BENCH_JOBS=8 pytest
+benchmarks``; default 1 keeps timing comparable to single-core runs).
 """
+
+import os
 
 import pytest
 
+from repro.exp import Runner, spec_for
 from repro.params import ScalePreset
-from repro.sim import SimConfig, simulate
+from repro.sim import SimConfig
 from repro.workloads import standard_trace
 
 #: Thread counts used by the benches (CI scale).
@@ -26,20 +32,42 @@ def traces():
 
 
 @pytest.fixture(scope="session")
-def results_cache():
-    """Session-wide memo of simulation results keyed by (workload, cfg)."""
-    return {}
+def exp_runner():
+    """Session-wide experiment runner with an in-memory result store."""
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+    return Runner(jobs=jobs)
 
 
 @pytest.fixture(scope="session")
-def run_sim(traces, results_cache):
+def run_sim(traces, exp_runner):
     """Memoised simulation runner: run_sim(workload, variant, **cfg)."""
 
     def run(workload, variant, **cfg_kwargs):
-        key = (workload, variant, tuple(sorted(cfg_kwargs.items())))
-        if key not in results_cache:
-            config = SimConfig(variant=variant, **cfg_kwargs)
-            results_cache[key] = simulate(traces[workload], config=config)
-        return results_cache[key]
+        trace = traces[workload]
+        spec = spec_for(trace, SimConfig(variant=variant, **cfg_kwargs))
+        return exp_runner.run([spec], trace=trace)[0]
+
+    return run
+
+
+@pytest.fixture(scope="session")
+def run_sims(traces, exp_runner):
+    """Batched variant of :func:`run_sim`: one ``Runner.run`` call per
+    figure, so REPRO_BENCH_JOBS fans a figure's variants out in parallel.
+
+    ``requests`` is either an iterable of variant names or a mapping of
+    display label -> (variant, cfg dict); returns label -> result.
+    """
+
+    def run(workload, requests):
+        if not isinstance(requests, dict):
+            requests = {variant: (variant, {}) for variant in requests}
+        trace = traces[workload]
+        specs = [
+            spec_for(trace, SimConfig(variant=variant, **cfg), label=str(label))
+            for label, (variant, cfg) in requests.items()
+        ]
+        results = exp_runner.run(specs, trace=trace)
+        return dict(zip(requests, results))
 
     return run

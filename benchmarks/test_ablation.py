@@ -18,13 +18,11 @@ CONFIGS = [
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1"])
-def test_ablation_scheduler_knobs(benchmark, run_sim, workload):
+def test_ablation_scheduler_knobs(benchmark, run_sims, workload):
     def run():
-        out = {}
-        for label, cfg in CONFIGS:
-            out[label] = run_sim(workload, "slicc", **cfg)
-        out["base"] = run_sim(workload, "base")
-        return out
+        requests = {label: ("slicc", cfg) for label, cfg in CONFIGS}
+        requests["base"] = ("base", {})
+        return run_sims(workload, requests)
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     base = results["base"]

@@ -17,25 +17,20 @@ not improve performance.
 import pytest
 
 from repro.analysis import format_table
-from repro.sim import SimConfig, simulate
 
 
-def test_ext_steps_vs_slicc(benchmark, traces):
-    trace = traces["tpcc-1"]
-
+def test_ext_steps_vs_slicc(benchmark, run_sims, traces):
     def run():
         # Synchronised arrivals: STEPS multiplexing assumes same-phase
         # peers (its teams execute chunk k together by construction).
-        base = simulate(
-            trace, config=SimConfig(variant="base", arrival_spacing=0)
+        results = run_sims(
+            "tpcc-1",
+            {
+                v: (v, dict(arrival_spacing=0))
+                for v in ("base", "steps", "slicc-sw")
+            },
         )
-        steps = simulate(
-            trace, config=SimConfig(variant="steps", arrival_spacing=0)
-        )
-        sw = simulate(
-            trace, config=SimConfig(variant="slicc-sw", arrival_spacing=0)
-        )
-        return base, steps, sw
+        return results["base"], results["steps"], results["slicc-sw"]
 
     base, steps, sw = benchmark.pedantic(run, iterations=1, rounds=1)
     rows = [
@@ -70,14 +65,12 @@ def test_ext_steps_vs_slicc(benchmark, traces):
 
 
 @pytest.mark.parametrize("n", [0, 8, 32])
-def test_ext_migration_data_prefetch(benchmark, traces, n):
+def test_ext_migration_data_prefetch(benchmark, run_sim, traces, n):
     """Section 5.5: the last-n data prefetcher does not help."""
     trace = traces["tpcc-1"]
 
     def run():
-        return simulate(
-            trace, config=SimConfig(variant="slicc", data_prefetch_n=n)
-        )
+        return run_sim("tpcc-1", "slicc", data_prefetch_n=n)
 
     result = benchmark.pedantic(run, iterations=1, rounds=1)
     print(

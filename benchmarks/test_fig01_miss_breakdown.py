@@ -12,78 +12,50 @@ import pytest
 from repro.analysis import format_table
 from repro.cache import latency_for_size
 from repro.params import SystemParams
-from repro.sim import SimConfig, simulate
 
 SIZES_KB = (16, 32, 64, 128, 256, 512)
 
 
-def _sweep_l1i(trace):
-    rows = []
-    baseline_cycles = None
-    for kb in SIZES_KB:
-        system = SystemParams(
-            l1i=SystemParams().l1i.scaled(
-                kb * 1024, hit_latency=latency_for_size(kb * 1024)
-            )
-        )
-        result = simulate(
-            trace,
-            config=SimConfig(
-                variant="base", system=system, collect_miss_classes=True
-            ),
-        )
-        if kb == 32:
-            baseline_cycles = result.cycles
-        rows.append((kb, result))
-    out = []
-    for kb, result in rows:
-        classes = result.miss_class_mpki["instruction"]
-        out.append(
-            [
-                f"{kb}KB",
-                classes["compulsory"],
-                classes["capacity"],
-                classes["conflict"],
-                baseline_cycles / result.cycles,
-            ]
-        )
-    return out
+def _scaled_system(level, kb):
+    cache = getattr(SystemParams(), level).scaled(
+        kb * 1024, hit_latency=latency_for_size(kb * 1024)
+    )
+    return SystemParams(**{level: cache})
 
 
-def _sweep_l1d(trace):
-    out = []
-    baseline_cycles = None
-    for kb in SIZES_KB:
-        system = SystemParams(
-            l1d=SystemParams().l1d.scaled(
-                kb * 1024, hit_latency=latency_for_size(kb * 1024)
-            )
+def _size_requests(level):
+    """One batched Runner request per cache size (label -> variant, cfg)."""
+    return {
+        kb: (
+            "base",
+            dict(system=_scaled_system(level, kb), collect_miss_classes=True),
         )
-        result = simulate(
-            trace,
-            config=SimConfig(
-                variant="base", system=system, collect_miss_classes=True
-            ),
-        )
-        if kb == 32:
-            baseline_cycles = result.cycles
-        classes = result.miss_class_mpki["data"]
-        out.append(
-            [
-                f"{kb}KB",
-                classes["compulsory"],
-                classes["capacity"],
-                classes["conflict"],
-                baseline_cycles / result.cycles if baseline_cycles else 1.0,
-            ]
-        )
-    return out
+        for kb in SIZES_KB
+    }
+
+
+def _sweep(run_sims, workload, level, side):
+    results = run_sims(workload, _size_requests(level))
+    baseline_cycles = results[32].cycles
+    return [
+        [
+            f"{kb}KB",
+            result.miss_class_mpki[side]["compulsory"],
+            result.miss_class_mpki[side]["capacity"],
+            result.miss_class_mpki[side]["conflict"],
+            baseline_cycles / result.cycles,
+        ]
+        for kb, result in results.items()
+    ]
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce", "mapreduce"])
-def test_fig01_l1i_sweep(benchmark, traces, workload):
+def test_fig01_l1i_sweep(benchmark, run_sims, workload):
     rows = benchmark.pedantic(
-        _sweep_l1i, args=(traces[workload],), iterations=1, rounds=1
+        _sweep,
+        args=(run_sims, workload, "l1i", "instruction"),
+        iterations=1,
+        rounds=1,
     )
     print()
     print(
@@ -101,9 +73,12 @@ def test_fig01_l1i_sweep(benchmark, traces, workload):
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
-def test_fig01_l1d_sweep(benchmark, traces, workload):
+def test_fig01_l1d_sweep(benchmark, run_sims, workload):
     rows = benchmark.pedantic(
-        _sweep_l1d, args=(traces[workload],), iterations=1, rounds=1
+        _sweep,
+        args=(run_sims, workload, "l1d", "data"),
+        iterations=1,
+        rounds=1,
     )
     print()
     print(

@@ -11,26 +11,26 @@ import pytest
 from repro.analysis import format_table
 from repro.cache.policies import policy_names
 from repro.params import CacheParams, SystemParams
-from repro.sim import SimConfig, simulate
 
 POLICIES = ("lru", "lip", "bip", "dip", "srrip", "brrip", "drrip")
 
 
-def _sweep_policies(trace):
-    rows = []
-    for policy in POLICIES:
-        system = SystemParams(l1i=CacheParams(policy=policy))
-        result = simulate(
-            trace, config=SimConfig(variant="base", system=system)
+def _sweep_policies(run_sims, workload):
+    requests = {
+        policy: (
+            "base",
+            dict(system=SystemParams(l1i=CacheParams(policy=policy))),
         )
-        rows.append([policy, result.i_mpki])
-    return rows
+        for policy in POLICIES
+    }
+    results = run_sims(workload, requests)
+    return [[policy, results[policy].i_mpki] for policy in POLICIES]
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce", "mapreduce"])
-def test_fig02_replacement_policies(benchmark, traces, workload):
+def test_fig02_replacement_policies(benchmark, run_sims, workload):
     rows = benchmark.pedantic(
-        _sweep_policies, args=(traces[workload],), iterations=1, rounds=1
+        _sweep_policies, args=(run_sims, workload), iterations=1, rounds=1
     )
     print()
     print(

@@ -9,14 +9,13 @@ plane with dilution_t = 0.
 import pytest
 
 from repro.analysis import format_table, sweep_fillup_matched
-from repro.sim import simulate
 
 FILL_VALUES = (128, 256, 384, 512)
 MATCH_VALUES = (2, 4, 6, 8, 10)
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
-def test_fig07_grid(benchmark, traces, run_sim, workload):
+def test_fig07_grid(benchmark, traces, run_sim, exp_runner, workload):
     trace = traces[workload]
     baseline = run_sim(workload, "base")
 
@@ -26,6 +25,7 @@ def test_fig07_grid(benchmark, traces, run_sim, workload):
             fill_up_values=FILL_VALUES,
             matched_values=MATCH_VALUES,
             baseline=baseline,
+            runner=exp_runner,
         )
 
     points = benchmark.pedantic(run, iterations=1, rounds=1)

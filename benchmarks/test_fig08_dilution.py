@@ -13,13 +13,16 @@ DILUTION_VALUES = tuple(range(2, 31, 4))
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
-def test_fig08_dilution_sweep(benchmark, traces, run_sim, workload):
+def test_fig08_dilution_sweep(benchmark, traces, run_sim, exp_runner, workload):
     trace = traces[workload]
     baseline = run_sim(workload, "base")
 
     def run():
         return sweep_dilution(
-            trace, dilution_values=DILUTION_VALUES, baseline=baseline
+            trace,
+            dilution_values=DILUTION_VALUES,
+            baseline=baseline,
+            runner=exp_runner,
         )
 
     points = benchmark.pedantic(run, iterations=1, rounds=1)

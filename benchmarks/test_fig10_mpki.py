@@ -19,9 +19,9 @@ PAPER_SW_REDUCTION = {"tpcc-1": 0.56, "tpce": 0.61}
 @pytest.mark.parametrize(
     "workload", ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
 )
-def test_fig10_mpki(benchmark, run_sim, workload):
+def test_fig10_mpki(benchmark, run_sims, workload):
     def run():
-        return {v: run_sim(workload, v) for v in VARIANTS}
+        return run_sims(workload, VARIANTS)
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     base = results["base"]

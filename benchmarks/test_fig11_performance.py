@@ -21,9 +21,9 @@ PAPER_SPEEDUP = {
 @pytest.mark.parametrize(
     "workload", ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
 )
-def test_fig11_performance(benchmark, run_sim, workload):
+def test_fig11_performance(benchmark, run_sims, workload):
     def run():
-        return {v: run_sim(workload, v) for v in VARIANTS}
+        return run_sims(workload, VARIANTS)
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     base = results["base"]

@@ -11,11 +11,9 @@ from repro.analysis import format_table
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1"])
-def test_sec55_tlb_deltas(benchmark, run_sim, workload):
+def test_sec55_tlb_deltas(benchmark, run_sims, workload):
     def run():
-        return {
-            v: run_sim(workload, v) for v in ("base", "slicc", "slicc-sw")
-        }
+        return run_sims(workload, ("base", "slicc", "slicc-sw"))
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     base = results["base"]

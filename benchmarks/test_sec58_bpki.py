@@ -18,11 +18,9 @@ PAPER_BPKI = {
 
 
 @pytest.mark.parametrize("workload", ["tpcc-1", "tpce"])
-def test_sec58_broadcast_frequency(benchmark, run_sim, workload):
+def test_sec58_broadcast_frequency(benchmark, run_sims, workload):
     def run():
-        return {
-            v: run_sim(workload, v) for v in ("slicc", "slicc-sw", "slicc-pp")
-        }
+        return run_sims(workload, ("slicc", "slicc-sw", "slicc-pp"))
 
     results = benchmark.pedantic(run, iterations=1, rounds=1)
     rows = []

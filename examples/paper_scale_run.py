@@ -5,60 +5,49 @@ The paper simulates 1K tasks (~1.1B instructions) per workload. The CI
 benchmarks use 48 tasks to stay inside minutes; this script runs the
 ``PAPER`` preset (256 tasks, ~20M instructions per workload) so warm-up
 and collective churn amortise the way the paper's longer traces allow.
-Expect on the order of an hour for the full matrix on a laptop.
+
+The whole matrix is one declarative experiment grid executed through the
+parallel :class:`repro.exp.Runner`: variants fan out over all cores, and
+results persist to ``results/paper_scale/`` — re-running after an
+interruption (or with more workloads) only simulates the missing cells.
 
 Run:  python examples/paper_scale_run.py [workload ...]
 """
 
+import os
 import sys
 import time
 
-import repro
-from repro.analysis import format_table
+from repro.exp import ExperimentSpec, ResultStore, Runner, grid, summarize
 
 VARIANTS = ("base", "nextline", "slicc", "slicc-pp", "slicc-sw", "pif")
-
-
-def run_workload(name: str) -> None:
-    print(f"\n=== {name} (PAPER scale) ===")
-    t0 = time.time()
-    trace = repro.standard_trace(name, repro.ScalePreset.PAPER)
-    print(
-        f"trace: {len(trace.threads)} threads, "
-        f"{trace.total_instructions:,} instructions "
-        f"({time.time() - t0:.0f}s to generate)"
-    )
-    rows = []
-    base = None
-    for variant in VARIANTS:
-        t0 = time.time()
-        result = repro.simulate(trace, variant=variant)
-        if variant == "base":
-            base = result
-        rows.append(
-            [
-                variant,
-                result.i_mpki,
-                result.d_mpki,
-                result.speedup_over(base),
-                result.migrations,
-                f"{time.time() - t0:.0f}s",
-            ]
-        )
-        print(f"  {variant}: done in {rows[-1][-1]}")
-    print(
-        format_table(
-            ["variant", "I-MPKI", "D-MPKI", "speedup", "migrations", "wall"],
-            rows,
-            title=f"{name} — paper-scale results",
-        )
-    )
+STORE_DIR = "results/paper_scale"
 
 
 def main() -> None:
     workloads = sys.argv[1:] or ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+    runner = Runner(
+        store=ResultStore(STORE_DIR), jobs=os.cpu_count() or 1
+    )
     for name in workloads:
-        run_workload(name)
+        base = ExperimentSpec(name, scale="paper", label=name)
+        specs = grid(base, {"variant": VARIANTS})
+        t0 = time.time()
+        results = runner.run(specs)
+        stats = runner.last_stats
+        print()
+        print(
+            summarize(
+                list(zip(specs, results)),
+                baseline=results[VARIANTS.index("base")],
+                metrics=("I-MPKI", "D-MPKI", "migrations", "util"),
+                title=f"{name} — paper-scale results",
+            )
+        )
+        print(
+            f"[{stats.simulated} simulated, {stats.cached} from "
+            f"{STORE_DIR}, {time.time() - t0:.0f}s]"
+        )
 
 
 if __name__ == "__main__":

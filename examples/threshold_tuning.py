@@ -2,42 +2,52 @@
 """Threshold tuning: reproduce the Section 5.2 parameter exploration.
 
 Sweeps SLICC's dilution_t threshold on TPC-C (the Figure 8 experiment)
-and prints the miss/overhead trade-off, showing how to drive custom
-parameter studies through the public API.
+as one declarative spec grid, showing how to drive custom parameter
+studies through ``repro.exp``: build a base spec, expand an axis with
+:func:`repro.exp.grid`, fan the family out over worker processes, and
+compare each point to the shared baseline.
 
 Run:  python examples/threshold_tuning.py
 """
 
-import repro
-from repro.analysis import format_table, sweep_dilution
+from repro.exp import ExperimentSpec, Runner, grid, summarize
+
+DILUTION_VALUES = (2, 6, 10, 16, 24, 30)
 
 
 def main() -> None:
-    trace = repro.standard_trace(
-        "tpcc-1", repro.ScalePreset.CI, n_threads=32, seed=7
+    base = ExperimentSpec(
+        "tpcc-1",
+        scale="ci",
+        n_threads=32,
+        seed=7,
+        label="slicc-sw",
     )
-    print("Baseline run...")
-    baseline = repro.simulate(trace, variant="base")
+    specs = grid(
+        base,
+        {"variant": ["slicc-sw"], "slicc.dilution_t": DILUTION_VALUES},
+        label=lambda point: f"dilution_t={point['slicc.dilution_t']}",
+    )
+    runner = Runner(jobs=4)
 
-    print("Sweeping dilution_t (Figure 8)...\n")
-    points = sweep_dilution(
-        trace, dilution_values=(2, 6, 10, 16, 24, 30), baseline=baseline
-    )
-    rows = [
-        [p.dilution_t, p.i_mpki, p.d_mpki, p.speedup, p.migrations]
-        for p in points
-    ]
+    print("Running baseline + 6-point dilution grid (jobs=4)...\n")
+    results = runner.run([base.baseline()] + specs)
+    baseline, results = results[0], results[1:]
     print(
-        format_table(
-            ["dilution_t", "I-MPKI", "D-MPKI", "speedup", "migrations"],
-            rows,
+        summarize(
+            list(zip(specs, results)),
+            baseline=baseline,
+            metrics=("I-MPKI", "D-MPKI", "migrations"),
             title="dilution_t trade-off (TPC-C)",
         )
     )
-    best = max(points, key=lambda p: p.speedup)
+    best_spec, best = max(
+        zip(specs, results), key=lambda pair: pair[1].speedup_over(baseline)
+    )
     print(
-        f"\nBest point here: dilution_t={best.dilution_t} "
-        f"(speedup {best.speedup:.2f}x). The paper settles on 10."
+        f"\nBest point here: {best_spec.display_label()} "
+        f"(speedup {best.speedup_over(baseline):.2f}x). "
+        "The paper settles on 10."
     )
 
 

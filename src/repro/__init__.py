@@ -14,6 +14,14 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every figure and table.
 """
 
+from repro.exp import (
+    ExperimentSpec,
+    ResultStore,
+    Runner,
+    grid,
+    spec_for,
+    summarize,
+)
 from repro.params import (
     BLOCK_SIZE,
     DEFAULT_SLICC,
@@ -38,6 +46,9 @@ __all__ = [
     "CacheParams",
     "DEFAULT_SLICC",
     "DEFAULT_SYSTEM",
+    "ExperimentSpec",
+    "ResultStore",
+    "Runner",
     "ScalePreset",
     "SimConfig",
     "SimulationResult",
@@ -46,7 +57,10 @@ __all__ = [
     "__version__",
     "generate_trace",
     "get_workload",
+    "grid",
     "simulate",
+    "spec_for",
     "standard_trace",
+    "summarize",
     "workload_names",
 ]

@@ -4,23 +4,35 @@ Commands
 --------
 ``run``     simulate one workload under one or more variants
 ``sweep``   the Figure 7/8 threshold sweeps
+``exp``     run a declarative experiment spec file end-to-end
 ``info``    show workload and machine parameters
 
 Examples::
 
     python -m repro run tpcc-1 --variants base slicc-sw --threads 32
-    python -m repro sweep tpcc-1 --kind dilution
+    python -m repro run tpce --variants base slicc slicc-sw --jobs 4
+    python -m repro sweep tpcc-1 --kind dilution --jobs 8
+    python -m repro exp experiments/dilution.json --jobs 8 --store results/
     python -m repro info tpce
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Sequence
 
 from repro.analysis import format_table, sweep_dilution, sweep_fillup_matched
+from repro.errors import ReproError
+from repro.exp import (
+    ResultStore,
+    Runner,
+    load_spec_file,
+    spec_for,
+    summarize,
+)
 from repro.params import ScalePreset
-from repro.sim import VARIANTS, SimConfig, simulate
+from repro.sim import VARIANTS, SimConfig
 from repro.workloads import (
     DEFAULT_THREADS,
     get_workload,
@@ -41,6 +53,27 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
 
 
+def _add_exec(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the experiment runner (default: 1)",
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persist results as JSONL under DIR; reruns become "
+        "incremental (default: in-memory only)",
+    )
+
+
+def _make_runner(args: argparse.Namespace) -> Runner:
+    store = ResultStore(args.store) if args.store else None
+    return Runner(store=store, jobs=args.jobs)
+
+
 def _trace_from(args: argparse.Namespace):
     scale = ScalePreset(args.scale)
     return standard_trace(
@@ -48,27 +81,35 @@ def _trace_from(args: argparse.Namespace):
     )
 
 
+def _print_stats(runner: Runner) -> None:
+    stats = runner.last_stats
+    if stats.cached:
+        print(f"[{stats.simulated} simulated, {stats.cached} cached]")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     trace = _trace_from(args)
-    rows = []
-    base = None
     variants = args.variants
     if "base" not in variants:
         variants = ["base"] + list(variants)
-    for variant in variants:
-        result = simulate(trace, config=SimConfig(variant=variant))
-        if variant == "base":
-            base = result
-        rows.append(
-            [
-                variant,
-                result.i_mpki,
-                result.d_mpki,
-                result.speedup_over(base),
-                result.migrations,
-                result.utilization,
-            ]
-        )
+    specs = [
+        spec_for(trace, SimConfig(variant=variant), label=variant)
+        for variant in variants
+    ]
+    runner = _make_runner(args)
+    results = runner.run(specs, trace=trace)
+    base = results[variants.index("base")]
+    rows = [
+        [
+            spec.variant,
+            result.i_mpki,
+            result.d_mpki,
+            result.speedup_over(base),
+            result.migrations,
+            result.utilization,
+        ]
+        for spec, result in zip(specs, results)
+    ]
     print(
         format_table(
             ["variant", "I-MPKI", "D-MPKI", "speedup", "migrations", "util"],
@@ -76,26 +117,44 @@ def _cmd_run(args: argparse.Namespace) -> int:
             title=f"{args.workload} ({len(trace.threads)} threads)",
         )
     )
+    _print_stats(runner)
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     trace = _trace_from(args)
+    runner = _make_runner(args)
     if args.kind == "dilution":
-        points = sweep_dilution(trace)
+        points = sweep_dilution(trace, runner=runner)
         headers = ["dilution_t", "I-MPKI", "D-MPKI", "speedup", "migrations"]
         rows = [
             [p.dilution_t, p.i_mpki, p.d_mpki, p.speedup, p.migrations]
             for p in points
         ]
     else:
-        points = sweep_fillup_matched(trace)
+        points = sweep_fillup_matched(trace, runner=runner)
         headers = ["fill-up_t", "matched_t", "I-MPKI", "D-MPKI", "speedup"]
         rows = [
             [p.fill_up_t, p.matched_t, p.i_mpki, p.d_mpki, p.speedup]
             for p in points
         ]
     print(format_table(headers, rows, title=f"{args.kind} sweep — {args.workload}"))
+    _print_stats(runner)
+    return 0
+
+
+def _cmd_exp(args: argparse.Namespace) -> int:
+    specs, baseline_spec = load_spec_file(args.specfile)
+    runner = _make_runner(args)
+    if baseline_spec is not None:
+        results = runner.run([baseline_spec] + specs)
+        baseline, results = results[0], results[1:]
+    else:
+        results = runner.run(specs)
+        baseline = None
+    title = f"{args.specfile} — {len(specs)} points"
+    print(summarize(list(zip(specs, results)), baseline=baseline, title=title))
+    _print_stats(runner)
     return 0
 
 
@@ -132,6 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--variants", nargs="+", choices=VARIANTS, default=["base", "slicc-sw"]
     )
+    _add_exec(run)
     run.set_defaults(func=_cmd_run)
 
     sweep = sub.add_parser("sweep", help="threshold sweeps (Figures 7/8)")
@@ -139,7 +199,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--kind", choices=["dilution", "fillup"], default="dilution"
     )
+    _add_exec(sweep)
     sweep.set_defaults(func=_cmd_sweep)
+
+    exp = sub.add_parser(
+        "exp", help="run a declarative experiment spec file"
+    )
+    exp.add_argument("specfile", help="JSON spec file (see repro.exp.specfile)")
+    _add_exec(exp)
+    exp.set_defaults(func=_cmd_exp)
 
     info = sub.add_parser("info", help="show workload parameters")
     _add_common(info)
@@ -150,4 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, ValueError) as exc:
+        # User-input problems (bad spec files, unknown fields or values,
+        # unreadable paths — json.JSONDecodeError is a ValueError) end as
+        # one-line errors, not tracebacks; engine bugs (SimulationError
+        # is a ReproError too, but unexpected) still surface their
+        # message — rerun under python -X dev for a trace.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

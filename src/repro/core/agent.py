@@ -23,7 +23,7 @@ access outcomes and presence vectors and interprets the returned
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Optional
 

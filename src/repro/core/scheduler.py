@@ -48,10 +48,6 @@ class ThreadQueues:
         self._queued.discard(thread_id)
         return thread_id
 
-    def requeue_to_tail(self, core: int, thread_id: int) -> None:
-        """Move a blocked thread to the end of its core's queue (I/O case)."""
-        self.enqueue(core, thread_id)
-
     def depth(self, core: int) -> int:
         """Number of threads waiting on a core."""
         return len(self._queues[core])

@@ -1,0 +1,51 @@
+"""Experiment orchestration: declarative specs, parallel runs, caching.
+
+The layer every campaign goes through::
+
+    from repro.exp import ExperimentSpec, Runner, ResultStore, grid, summarize
+
+    base = ExperimentSpec("tpcc-1", scale="ci", n_threads=32, seed=7)
+    specs = grid(base, {"variant": ["slicc-sw"],
+                        "slicc.dilution_t": [2, 6, 10]})
+    runner = Runner(store=ResultStore("results/"), jobs=4)
+    results = runner.run(specs)
+    print(summarize(zip(specs, results)))
+
+Specs are frozen and content-hashed; the runner fans out over processes
+and the store makes repeated sweeps incremental.
+"""
+
+from repro.exp.runner import Runner, RunnerStats
+from repro.exp.spec import (
+    ExperimentSpec,
+    grid,
+    product,
+    spec_for,
+    trace_fingerprint,
+    with_overrides,
+)
+from repro.exp.specfile import load_spec_file
+from repro.exp.store import (
+    ResultStore,
+    result_from_dict,
+    result_to_dict,
+    result_to_json,
+)
+from repro.exp.summarize import summarize
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultStore",
+    "Runner",
+    "RunnerStats",
+    "grid",
+    "load_spec_file",
+    "product",
+    "result_from_dict",
+    "result_to_dict",
+    "result_to_json",
+    "spec_for",
+    "summarize",
+    "trace_fingerprint",
+    "with_overrides",
+]

@@ -1,0 +1,207 @@
+"""Parallel experiment execution.
+
+The :class:`Runner` takes a list of :class:`ExperimentSpec` and returns
+one :class:`SimulationResult` per spec, in order. Specs whose key is
+already in the :class:`ResultStore` are served from it; the rest are
+deduplicated and fanned out over ``multiprocessing`` workers (or run
+inline for ``jobs=1`` / single-spec calls, where a pool would only add
+overhead).
+
+Each worker process builds every distinct trace at most once: declarative
+specs regenerate it from ``(workload, scale, n_threads, seed)`` via the
+deterministic generators, while explicit traces (specs built with
+:func:`~repro.exp.spec.spec_for`) are shipped to the workers once at pool
+start. Simulation itself is deterministic given the trace and config, so
+results are identical whatever the job count — the test suite pins that
+with a byte-identical-JSON guard.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exp.spec import ExperimentSpec, trace_fingerprint
+from repro.exp.store import ResultStore, result_from_dict, result_to_dict
+from repro.params import ScalePreset
+from repro.sim.engine import simulate
+from repro.sim.results import SimulationResult
+from repro.workloads import standard_trace
+from repro.workloads.trace import Trace
+
+# Per-process trace state. ``_EXPLICIT`` holds traces shipped by the
+# parent (fingerprint -> Trace); ``_TRACE_CACHE`` memoises declaratively
+# rebuilt traces so a worker generates each one once however many specs
+# share it.
+_EXPLICIT: dict[str, Trace] = {}
+_TRACE_CACHE: dict[str, Trace] = {}
+
+
+def _init_worker(explicit: dict[str, Trace]) -> None:
+    global _EXPLICIT
+    _EXPLICIT = explicit
+
+
+def _build_trace(spec: ExperimentSpec) -> Trace:
+    return standard_trace(
+        spec.workload,
+        ScalePreset(spec.scale),
+        n_threads=spec.n_threads,
+        seed=spec.seed,
+    )
+
+
+def _trace_for(spec: ExperimentSpec) -> Trace:
+    key = spec.trace_key()
+    trace = _EXPLICIT.get(key)
+    if trace is not None:
+        return trace
+    if spec.trace_id is not None:
+        raise ConfigurationError(
+            f"spec {spec.display_label()!r} references an explicit "
+            "trace that was not passed to Runner.run(..., trace=...)"
+        )
+    # Fallback for a worker handed a declarative spec whose trace was
+    # not shipped; memoised so one worker builds each trace at most once.
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = _build_trace(spec)
+        _TRACE_CACHE[key] = trace
+    return trace
+
+
+def _run_spec(spec: ExperimentSpec) -> tuple[str, dict]:
+    """Worker entry point: simulate one spec, return (key, result dict).
+
+    Results cross the process boundary as plain dicts so fresh and
+    store-loaded rows take the identical deserialisation path.
+    """
+    result = simulate(_trace_for(spec), config=spec.config)
+    return spec.key(), result_to_dict(result)
+
+
+@dataclass
+class RunnerStats:
+    """How a ``run()`` call was served.
+
+    ``cached`` counts input specs answered without simulating (store hits
+    plus intra-call duplicates); ``simulated`` counts actual engine runs.
+    """
+
+    simulated: int = 0
+    cached: int = 0
+
+    def add(self, other: "RunnerStats") -> None:
+        self.simulated += other.simulated
+        self.cached += other.cached
+
+
+class Runner:
+    """Executes spec families against a result store.
+
+    Args:
+        store: result cache; defaults to a fresh in-memory store.
+        jobs: worker processes for fan-out (1 = run inline).
+    """
+
+    def __init__(
+        self, store: Optional[ResultStore] = None, jobs: int = 1
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.jobs = max(1, int(jobs))
+        #: Cumulative counts across all ``run()`` calls.
+        self.stats = RunnerStats()
+        #: Counts for the most recent ``run()`` call.
+        self.last_stats = RunnerStats()
+
+    def run(
+        self,
+        specs: Sequence[ExperimentSpec],
+        trace: Optional[Trace] = None,
+        traces: Optional[Sequence[Trace]] = None,
+    ) -> list[SimulationResult]:
+        """Run every spec, returning results aligned with the input.
+
+        Duplicate keys within one call are simulated once. Explicit
+        traces referenced by any spec's ``trace_id`` must be passed via
+        ``trace`` (one) or ``traces`` (several).
+        """
+        specs = list(specs)
+        explicit: dict[str, Trace] = {}
+        for t in ([trace] if trace is not None else []) + list(traces or []):
+            explicit[trace_fingerprint(t)] = t
+
+        keys = [spec.key() for spec in specs]
+        served: dict[str, SimulationResult] = {}
+        pending: dict[str, ExperimentSpec] = {}
+        stats = RunnerStats()
+        for spec, key in zip(specs, keys):
+            if key in served or key in pending:
+                stats.cached += 1
+                continue
+            hit = self.store.get(key)
+            if hit is not None:
+                served[key] = hit
+                stats.cached += 1
+            else:
+                if spec.trace_id is not None and spec.trace_id not in explicit:
+                    raise ConfigurationError(
+                        f"spec {spec.display_label()!r} needs its explicit "
+                        "trace: pass it via run(..., trace=...)"
+                    )
+                pending[key] = spec
+
+        # Resolve each distinct declarative trace once, run-locally, and
+        # ship it through the explicit-trace channel (inherited for free
+        # under fork, pickled once per worker under spawn). Keeping the
+        # resolution in this per-run dict — not the module cache — lets
+        # the parent release the arrays when the run ends, so long
+        # campaigns do not accumulate every trace they ever touched.
+        for spec in pending.values():
+            if spec.trace_id is None and spec.trace_key() not in explicit:
+                explicit[spec.trace_key()] = _build_trace(spec)
+
+        # Results persist as they arrive (not after the whole batch), so
+        # an interrupted campaign keeps every simulation it finished.
+        for key, payload in self._execute(list(pending.values()), explicit):
+            result = result_from_dict(payload)
+            served[key] = result
+            self.store.put(key, result, spec=pending[key])
+            stats.simulated += 1
+
+        self.last_stats = stats
+        self.stats.add(stats)
+        return [served[key] for key in keys]
+
+    def _execute(
+        self, pending: list[ExperimentSpec], explicit: dict[str, Trace]
+    ) -> Iterator[tuple[str, dict]]:
+        """Yield (key, result dict) as simulations complete, in arbitrary
+        order — the caller realigns by key and persists incrementally."""
+        if not pending:
+            return
+        if self.jobs == 1 or len(pending) == 1:
+            global _EXPLICIT
+            previous = _EXPLICIT
+            _EXPLICIT = explicit
+            try:
+                for spec in pending:
+                    yield _run_spec(spec)
+            finally:
+                _EXPLICIT = previous
+            return
+        # Prefer fork on Linux: workers inherit explicit traces for free
+        # instead of re-pickling them. Elsewhere (macOS/Windows) fork is
+        # unsafe or absent, so keep the platform's default start method.
+        if sys.platform == "linux":
+            ctx = multiprocessing.get_context("fork")
+        else:
+            ctx = multiprocessing.get_context()
+        n_workers = min(self.jobs, len(pending))
+        with ctx.Pool(
+            n_workers, initializer=_init_worker, initargs=(explicit,)
+        ) as pool:
+            yield from pool.imap_unordered(_run_spec, pending, chunksize=1)

@@ -1,0 +1,145 @@
+"""Content-addressed result persistence.
+
+A :class:`ResultStore` maps :meth:`ExperimentSpec.key` hashes to
+:class:`~repro.sim.results.SimulationResult` rows. It always keeps an
+in-memory index; given a path it additionally appends one JSON line per
+new result, so repeated sweeps over overlapping grids only simulate the
+points they have not seen (the store makes campaigns *incremental*).
+
+The JSONL format is append-only — a rerun never rewrites history, and a
+crashed run leaves at worst one truncated trailing line, which loading
+skips. On load, later lines win, so a row can be superseded simply by
+appending.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterator, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.sim.results import SimulationResult
+
+
+def result_to_dict(result: SimulationResult) -> dict:
+    """Plain-dict rendering of a result (inverse of
+    :func:`result_from_dict`)."""
+    return asdict(result)
+
+
+def result_from_dict(payload: dict) -> SimulationResult:
+    """Rebuild a result from :func:`result_to_dict` output."""
+    return SimulationResult(**payload)
+
+
+def result_to_json(result: SimulationResult) -> str:
+    """Canonical JSON rendering — byte-identical for equal results, used
+    by the determinism guard in the test suite."""
+    return json.dumps(
+        result_to_dict(result), sort_keys=True, separators=(",", ":")
+    )
+
+
+class ResultStore:
+    """Keyed store of simulation results, optionally backed by JSONL.
+
+    Args:
+        path: ``None`` for a purely in-memory store; otherwise a
+            directory (a ``results.jsonl`` file is created inside) or a
+            ``*.jsonl`` file path.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None) -> None:
+        self._results: dict[str, SimulationResult] = {}
+        self._specs: dict[str, dict] = {}
+        self._path: Optional[Path] = None
+        if path is not None:
+            path = Path(path)
+            if path.is_dir():
+                path = path / "results.jsonl"
+            elif path.suffix and path.suffix != ".jsonl":
+                # A near-miss like --store results.json would otherwise
+                # silently become a *directory* of that name (dotted
+                # names that already exist as directories are fine).
+                raise ConfigurationError(
+                    f"store path {path} looks like a file but is not "
+                    "*.jsonl; pass a directory or a .jsonl file"
+                )
+            elif path.suffix != ".jsonl":
+                path = path / "results.jsonl"
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._path = path
+            self._load()
+
+    @property
+    def path(self) -> Optional[Path]:
+        """Backing JSONL file (``None`` for in-memory stores)."""
+        return self._path
+
+    def _load(self) -> None:
+        if self._path is None or not self._path.exists():
+            return
+        with self._path.open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                    result = result_from_dict(row["result"])
+                    key = row["key"]
+                except (json.JSONDecodeError, KeyError, TypeError):
+                    # Truncated trailing line from a crash, or a row from
+                    # an incompatible older schema: rows are re-derivable
+                    # by rerunning the spec, so skip rather than refuse
+                    # to open the whole store.
+                    continue
+                self._results[key] = result
+                self._specs[key] = row.get("spec") or {}
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored result for a spec key, or ``None``."""
+        return self._results.get(key)
+
+    def spec_info(self, key: str) -> Optional[dict]:
+        """The spec dict recorded with a result (provenance), if any."""
+        return self._specs.get(key)
+
+    def put(self, key: str, result: SimulationResult, spec=None) -> None:
+        """Record a result; appends to the JSONL file when persistent.
+
+        ``spec`` (an :class:`~repro.exp.spec.ExperimentSpec` or a plain
+        dict) is stored alongside purely for human inspection of the
+        file — lookups only ever use ``key``.
+        """
+        self._results[key] = result
+        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        self._specs[key] = spec_payload or {}
+        if self._path is not None:
+            row = {
+                "key": key,
+                "spec": spec_payload,
+                "result": result_to_dict(result),
+            }
+            with self._path.open("a", encoding="utf-8") as fh:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._results
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def keys(self) -> Iterator[str]:
+        """All stored spec keys."""
+        return iter(self._results)
+
+    def results(self) -> Iterator[SimulationResult]:
+        """All stored results."""
+        return iter(self._results.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = str(self._path) if self._path else "memory"
+        return f"ResultStore({len(self)} results, {where})"

@@ -1,0 +1,60 @@
+"""Bridge from experiment results to the report tables.
+
+``summarize`` renders a (spec, result) family as the aligned monospace
+table the benchmarks print, via :func:`repro.analysis.report.format_table`
+so experiment output and figure output stay visually identical.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.analysis.report import format_table
+from repro.exp.spec import ExperimentSpec
+from repro.sim.results import SimulationResult
+
+#: Metric name -> extractor used by :func:`summarize`.
+_METRICS = {
+    "I-MPKI": lambda r: r.i_mpki,
+    "D-MPKI": lambda r: r.d_mpki,
+    "cycles": lambda r: r.cycles,
+    "migrations": lambda r: r.migrations,
+    "util": lambda r: r.utilization,
+    "bpki": lambda r: r.bpki,
+    "IPC": lambda r: r.ipc,
+}
+
+DEFAULT_METRICS = ("I-MPKI", "D-MPKI", "migrations", "util")
+
+
+def summarize(
+    runs: Sequence[Tuple[ExperimentSpec, SimulationResult]],
+    baseline: Optional[SimulationResult] = None,
+    metrics: Sequence[str] = DEFAULT_METRICS,
+    title: str = "",
+) -> str:
+    """Format a family of runs as a table.
+
+    Args:
+        runs: (spec, result) pairs, e.g. ``zip(specs, runner.run(specs))``.
+        baseline: when given, a ``speedup`` column (relative makespan vs
+            this result) is appended.
+        metrics: column names from ``I-MPKI, D-MPKI, cycles, migrations,
+            util, bpki, IPC``.
+        title: table caption.
+
+    Raises:
+        KeyError: for an unknown metric name.
+    """
+    extractors = [(name, _METRICS[name]) for name in metrics]
+    headers = ["label", "variant"] + [name for name, _ in extractors]
+    if baseline is not None:
+        headers.append("speedup")
+    rows = []
+    for spec, result in runs:
+        row: list[object] = [spec.display_label(), spec.variant]
+        row.extend(extract(result) for _, extract in extractors)
+        if baseline is not None:
+            row.append(result.speedup_over(baseline))
+        rows.append(row)
+    return format_table(headers, rows, title=title)

@@ -1,0 +1,83 @@
+"""Edge-case tests for ReplayEngine._build_partition (Section 4.3.2).
+
+The partition splits worker cores among transaction types by thread
+count. These tests drive it with synthetic count maps to pin the three
+tricky regimes: more types than worker cores, one dominant type, and the
+everything-is-a-stray pool path.
+"""
+
+import pytest
+
+from repro.sim.engine import ReplayEngine, SimConfig
+
+
+@pytest.fixture
+def engine(smoke_tpcc):
+    """A slicc-sw engine on 16 cores; only _build_partition is exercised."""
+    return ReplayEngine(smoke_tpcc, SimConfig(variant="slicc-sw"))
+
+
+class TestBuildPartition:
+    def test_more_types_than_worker_cores(self, engine):
+        """With 20 one-thread types on 16 cores, nobody earns 2 cores:
+        every type collapses into the shared stray pool spanning all
+        workers."""
+        counts = {type_id: 1 for type_id in range(20)}
+        partition = engine._build_partition(counts)
+        workers = frozenset(engine.worker_cores)
+        assert partition[-1] == workers
+        for type_id in counts:
+            assert partition[type_id] == workers
+
+    def test_single_dominant_type(self, engine):
+        """One type with ~99% of threads takes the lion's share; the tiny
+        type shares the reserved pool with the strays."""
+        counts = {0: 100, 1: 1}
+        partition = engine._build_partition(counts)
+        workers = set(engine.worker_cores)
+        assert len(partition[0]) == len(workers) - 2  # 2 cores reserved
+        assert partition[1] == partition[-1]
+        assert len(partition[-1]) == 2
+        assert partition[0].isdisjoint(partition[-1])
+        assert partition[0] | partition[-1] == workers
+
+    def test_exact_fill_leaves_strays_roaming(self, engine):
+        """Two equal types split all 16 cores exactly; with no leftover
+        pool, strays (-1) may roam the whole chip."""
+        counts = {0: 10, 1: 10}
+        partition = engine._build_partition(counts)
+        workers = frozenset(engine.worker_cores)
+        assert len(partition[0]) == len(partition[1]) == 8
+        assert partition[0].isdisjoint(partition[1])
+        assert partition[0] | partition[1] == workers
+        assert partition[-1] == workers
+
+    def test_all_stray_pool_used_for_unknown_threads(self, engine):
+        """_allowed_for falls back to the -1 pool for threads whose type
+        was never counted (the stray path)."""
+        counts = {0: 100, 1: 1}
+        engine._partition = engine._build_partition(counts)
+        engine._thread_type_key = {0: 0}  # thread 0 known, others stray
+        assert engine._allowed_for(0) == engine._partition[0]
+        assert engine._allowed_for(999) == engine._partition[-1]
+
+    def test_partition_always_covers_every_small_type(self, engine):
+        """Mixed regime: two big types plus several small ones — small
+        types all land in one shared pool, and regions never overlap."""
+        counts = {0: 40, 1: 40, 2: 1, 3: 1, 4: 1}
+        partition = engine._build_partition(counts)
+        assert partition[2] == partition[3] == partition[4] == partition[-1]
+        assert len(partition[-1]) >= 2
+        assert partition[0].isdisjoint(partition[1])
+        # Big-type regions never overlap the stray pool.
+        assert partition[0].isdisjoint(partition[-1])
+        assert partition[1].isdisjoint(partition[-1])
+
+    def test_slicc_pp_reserves_scout_core(self, smoke_tpcc):
+        """SLICC-Pp partitions only the 15 worker cores (core 15 scouts)."""
+        engine = ReplayEngine(smoke_tpcc, SimConfig(variant="slicc-pp"))
+        counts = {0: 10, 1: 10}
+        partition = engine._build_partition(counts)
+        scout = engine.config.system.n_cores - 1
+        for region in partition.values():
+            assert scout not in region

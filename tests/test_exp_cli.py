@@ -1,0 +1,107 @@
+"""End-to-end tests for the experiment-layer CLI surface."""
+
+import json
+
+from repro.cli import main
+
+
+def write_specfile(tmp_path, payload):
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+SMOKE_EXP = {
+    "workload": "tpcc-1",
+    "scale": "smoke",
+    "seed": 7,
+    "variant": "slicc-sw",
+    "axes": {"slicc.dilution_t": [5, 10]},
+    "baseline": True,
+}
+
+
+class TestExpCommand:
+    def test_exp_runs_spec_file(self, tmp_path, capsys):
+        rc = main(["exp", write_specfile(tmp_path, SMOKE_EXP)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "dilution_t=5" in out and "dilution_t=10" in out
+        assert "speedup" in out
+
+    def test_exp_store_makes_rerun_incremental(self, tmp_path, capsys):
+        specfile = write_specfile(tmp_path, SMOKE_EXP)
+        store = str(tmp_path / "results")
+        assert main(["exp", specfile, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["exp", specfile, "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert "[0 simulated, 3 cached]" in out
+
+    def test_exp_parallel_jobs(self, tmp_path, capsys):
+        rc = main(["exp", write_specfile(tmp_path, SMOKE_EXP), "--jobs", "2"])
+        assert rc == 0
+        assert "dilution_t=10" in capsys.readouterr().out
+
+    def test_exp_without_baseline_has_no_speedup_column(self, tmp_path, capsys):
+        payload = dict(SMOKE_EXP)
+        payload.pop("baseline")
+        rc = main(["exp", write_specfile(tmp_path, payload)])
+        assert rc == 0
+        assert "speedup" not in capsys.readouterr().out
+
+    def test_exp_bad_axis_is_a_clean_error(self, tmp_path, capsys):
+        payload = dict(SMOKE_EXP, axes={"slicc.dillution_t": [5]})
+        rc = main(["exp", write_specfile(tmp_path, payload)])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "dillution_t" in err
+
+    def test_exp_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        rc = main(["exp", str(tmp_path / "absent.json")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestJobsFlag:
+    def test_run_with_jobs(self, capsys):
+        rc = main(
+            [
+                "run",
+                "mapreduce",
+                "--scale",
+                "smoke",
+                "--threads",
+                "4",
+                "--variants",
+                "nextline",
+                "--jobs",
+                "2",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "base" in out and "nextline" in out
+
+    def test_sweep_with_store_and_jobs(self, tmp_path, capsys):
+        argv = [
+            "sweep",
+            "tpcc-1",
+            "--scale",
+            "smoke",
+            "--seed",
+            "7",
+            "--kind",
+            "dilution",
+            "--jobs",
+            "2",
+            "--store",
+            str(tmp_path / "sweepstore"),
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "dilution_t" in out
+        capsys.readouterr()
+        # Rerun: everything cached from the JSONL store.
+        assert main(argv) == 0
+        assert "[0 simulated, 16 cached]" in capsys.readouterr().out

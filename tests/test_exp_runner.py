@@ -1,0 +1,220 @@
+"""Tests for the parallel experiment runner.
+
+Covers the acceptance criteria of the orchestration layer: the Runner
+grid reproduces the seed's serial sweep loop exactly, repeated sweeps are
+served from the ResultStore with zero new simulations, back-to-back
+sweeps share one baseline run per trace hash, and results are
+byte-identical between ``jobs=1`` and ``jobs=4``.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import SweepPoint, sweep_dilution, sweep_fillup_matched
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentSpec,
+    ResultStore,
+    Runner,
+    grid,
+    result_to_json,
+    spec_for,
+)
+from repro.params import SliccParams
+from repro.sim import SimConfig, simulate
+
+FILL_VALUES = (128, 256, 384, 512)
+MATCH_VALUES = (2, 4, 6, 8, 10)
+
+
+def serial_sweep_fillup_matched(trace, variant="slicc-sw"):
+    """The seed's original hand-rolled serial loop, kept verbatim as the
+    reference the Runner-backed sweep must reproduce."""
+    baseline = simulate(trace, variant="base")
+    points = []
+    for fill_up in FILL_VALUES:
+        for matched in MATCH_VALUES:
+            slicc = SliccParams(
+                fill_up_t=fill_up, matched_t=matched, dilution_t=0
+            )
+            result = simulate(
+                trace, config=SimConfig(variant=variant, slicc=slicc)
+            )
+            points.append(
+                SweepPoint(
+                    label=f"fill={fill_up},match={matched}",
+                    fill_up_t=fill_up,
+                    matched_t=matched,
+                    dilution_t=0,
+                    i_mpki=result.i_mpki,
+                    d_mpki=result.d_mpki,
+                    speedup=result.speedup_over(baseline),
+                    migrations=result.migrations,
+                )
+            )
+    return points
+
+
+class TestRunnerBasics:
+    def test_matches_direct_simulate(self, smoke_tpcc):
+        spec = spec_for(smoke_tpcc, variant="slicc-sw")
+        runner = Runner()
+        (result,) = runner.run([spec], trace=smoke_tpcc)
+        direct = simulate(smoke_tpcc, variant="slicc-sw")
+        assert result_to_json(result) == result_to_json(direct)
+        assert runner.last_stats.simulated == 1
+
+    def test_declarative_spec_builds_its_own_trace(self):
+        spec = ExperimentSpec(
+            "tpcc-1", scale="smoke", seed=7, config=SimConfig(variant="base")
+        )
+        (result,) = Runner().run([spec])
+        assert result.variant == "base"
+        assert result.threads_completed > 0
+
+    def test_results_align_with_input_order(self, smoke_tpcc):
+        specs = [
+            spec_for(smoke_tpcc, variant=v, label=v)
+            for v in ("slicc", "base", "steps")
+        ]
+        results = Runner().run(specs, trace=smoke_tpcc)
+        assert [r.variant for r in results] == ["slicc", "base", "steps"]
+
+    def test_duplicate_specs_simulated_once(self, smoke_tpcc):
+        spec = spec_for(smoke_tpcc, variant="base")
+        runner = Runner()
+        results = runner.run([spec, spec, spec], trace=smoke_tpcc)
+        assert runner.last_stats.simulated == 1
+        assert runner.last_stats.cached == 2
+        assert results[0] == results[1] == results[2]
+
+    def test_missing_explicit_trace_rejected(self, smoke_tpcc):
+        spec = spec_for(smoke_tpcc, variant="base")
+        with pytest.raises(ConfigurationError):
+            Runner().run([spec])  # trace not passed
+
+    def test_store_serves_second_invocation(self, smoke_tpcc):
+        store = ResultStore()
+        first = Runner(store=store)
+        second = Runner(store=store)
+        spec = spec_for(smoke_tpcc, variant="base")
+        a = first.run([spec], trace=smoke_tpcc)
+        b = second.run([spec])  # cache hit: no trace needed at all
+        assert second.last_stats.simulated == 0
+        assert second.last_stats.cached == 1
+        assert a == b
+
+    def test_persistent_store_across_processes_shape(self, smoke_tpcc, tmp_path):
+        spec = spec_for(smoke_tpcc, variant="base")
+        Runner(store=ResultStore(tmp_path)).run([spec], trace=smoke_tpcc)
+        rerun = Runner(store=ResultStore(tmp_path))
+        (result,) = rerun.run([spec])
+        assert rerun.last_stats.simulated == 0
+        assert result.variant == "base"
+
+
+class TestSweepEquivalence:
+    """Acceptance: the 20-point Figure 7 grid through the Runner with
+    jobs=4 must produce identical SweepPoint values to the seed's serial
+    implementation, and a repeat must be served entirely from the store."""
+
+    def test_grid_matches_serial_and_caches(self, smoke_tpcc):
+        reference = serial_sweep_fillup_matched(smoke_tpcc)
+        assert len(reference) == 20
+
+        runner = Runner(store=ResultStore(), jobs=4)
+        points = sweep_fillup_matched(
+            smoke_tpcc,
+            fill_up_values=FILL_VALUES,
+            matched_values=MATCH_VALUES,
+            runner=runner,
+        )
+        assert points == reference
+        assert runner.last_stats.simulated == 21  # grid + baseline
+
+        again = sweep_fillup_matched(
+            smoke_tpcc,
+            fill_up_values=FILL_VALUES,
+            matched_values=MATCH_VALUES,
+            runner=runner,
+        )
+        assert again == reference
+        assert runner.last_stats.simulated == 0  # all 21 from the store
+        assert runner.last_stats.cached == 21
+
+    def test_back_to_back_sweeps_share_one_baseline(self, smoke_tpcc):
+        """Satellite: sweep_fillup_matched + sweep_dilution on the same
+        trace must run variant='base' exactly once."""
+        store = ResultStore()
+        runner = Runner(store=store)
+        sweep_fillup_matched(
+            smoke_tpcc,
+            fill_up_values=(128, 256),
+            matched_values=(4,),
+            runner=runner,
+        )
+        sweep_dilution(smoke_tpcc, dilution_values=(5, 10), runner=runner)
+        base_runs = [r for r in store.results() if r.variant == "base"]
+        assert len(base_runs) == 1
+
+
+class TestDeterminism:
+    """Satellite: the same spec hash yields byte-identical result JSON
+    whatever the degree of parallelism."""
+
+    def test_jobs1_and_jobs4_byte_identical(self, smoke_tpcc):
+        specs = grid(
+            spec_for(smoke_tpcc, variant="slicc-sw"),
+            {
+                "variant": ["slicc", "slicc-sw"],
+                "slicc.dilution_t": [5, 10],
+            },
+        )
+        serial = Runner(jobs=1).run(specs, trace=smoke_tpcc)
+        parallel = Runner(jobs=4).run(specs, trace=smoke_tpcc)
+        for a, b in zip(serial, parallel):
+            assert result_to_json(a) == result_to_json(b)
+
+    def test_declarative_jobs_determinism(self):
+        base = ExperimentSpec("tpcc-1", scale="smoke", seed=3)
+        specs = grid(base, {"variant": ["base", "nextline", "slicc"]})
+        serial = Runner(jobs=1).run(specs)
+        parallel = Runner(jobs=4).run(specs)
+        for a, b in zip(serial, parallel):
+            assert result_to_json(a) == result_to_json(b)
+
+    def test_partial_results_persist_on_failure(
+        self, tmp_path, monkeypatch, smoke_tpcc
+    ):
+        """An interrupted batch keeps the simulations it finished."""
+        from repro.exp import runner as runner_mod
+
+        real = runner_mod._run_spec
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("interrupted")
+            return real(spec)
+
+        monkeypatch.setattr(runner_mod, "_run_spec", flaky)
+        store = ResultStore(tmp_path)
+        specs = [
+            spec_for(smoke_tpcc, variant=v)
+            for v in ("base", "slicc", "steps")
+        ]
+        with pytest.raises(RuntimeError):
+            Runner(store=store).run(specs, trace=smoke_tpcc)
+        assert len(ResultStore(tmp_path)) == 1  # first result survived
+
+    def test_parent_process_does_not_hoard_traces(self):
+        """Declarative traces are resolved into a run-local dict and
+        released with the run, not accumulated in the module cache."""
+        from repro.exp import runner as runner_mod
+
+        before = dict(runner_mod._TRACE_CACHE)
+        spec = ExperimentSpec(
+            "tpce", scale="smoke", seed=11, config=SimConfig(variant="base")
+        )
+        Runner(jobs=1).run([spec])
+        assert runner_mod._TRACE_CACHE == before

@@ -1,0 +1,118 @@
+"""Tests for the JSONL-backed result store."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ResultStore,
+    result_from_dict,
+    result_to_dict,
+    result_to_json,
+)
+from repro.sim.results import SimulationResult
+
+
+def make_result(variant="base", cycles=1000):
+    return SimulationResult(
+        variant=variant,
+        workload="tpcc-1",
+        cycles=cycles,
+        instructions=5000,
+        i_accesses=400,
+        i_misses=40,
+        d_accesses=200,
+        d_misses=10,
+        migrations=3,
+        utilization=0.625,
+        miss_class_mpki={"instruction": {"cold": 1.5}},
+    )
+
+
+class TestSerialisation:
+    def test_dict_roundtrip_is_lossless(self):
+        result = make_result()
+        assert result_from_dict(result_to_dict(result)) == result
+
+    def test_json_is_canonical(self):
+        a = make_result()
+        b = make_result()
+        assert result_to_json(a) == result_to_json(b)
+        assert json.loads(result_to_json(a))["cycles"] == 1000
+
+
+class TestMemoryStore:
+    def test_put_get(self):
+        store = ResultStore()
+        result = make_result()
+        assert store.get("k1") is None
+        store.put("k1", result)
+        assert store.get("k1") == result
+        assert "k1" in store and len(store) == 1
+
+    def test_overwrite_wins(self):
+        store = ResultStore()
+        store.put("k", make_result(cycles=1))
+        store.put("k", make_result(cycles=2))
+        assert store.get("k").cycles == 2
+
+
+class TestPersistentStore:
+    def test_roundtrip_through_disk(self, tmp_path):
+        store = ResultStore(tmp_path)
+        result = make_result(variant="slicc-sw")
+        store.put("deadbeef", result, spec={"workload": "tpcc-1"})
+
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("deadbeef") == result
+        assert reloaded.spec_info("deadbeef") == {"workload": "tpcc-1"}
+        assert (tmp_path / "results.jsonl").exists()
+
+    def test_near_miss_file_path_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path / "results.json")
+
+    def test_existing_dotted_directory_accepted(self, tmp_path):
+        dotted = tmp_path / "campaign.2026-07"
+        dotted.mkdir()
+        store = ResultStore(dotted)
+        store.put("k", make_result())
+        assert (dotted / "results.jsonl").exists()
+
+    def test_explicit_jsonl_path(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        store = ResultStore(path)
+        store.put("k", make_result())
+        assert path.exists()
+        assert ResultStore(path).get("k") == make_result()
+
+    def test_append_only_last_wins(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("k", make_result(cycles=1))
+        store.put("k", make_result(cycles=2))
+        lines = (tmp_path / "results.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        assert ResultStore(tmp_path).get("k").cycles == 2
+
+    def test_truncated_trailing_line_skipped(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("good", make_result())
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            fh.write('{"key": "bad", "result": {"var')  # simulated crash
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("good") is not None
+        assert len(reloaded) == 1
+
+    def test_incompatible_rows_skipped_not_fatal(self, tmp_path):
+        """Rows from an older result schema (or hand-edited junk) must
+        not brick the store — they are re-derivable by rerunning."""
+        store = ResultStore(tmp_path)
+        store.put("good", make_result())
+        with (tmp_path / "results.jsonl").open("a") as fh:
+            fh.write("null\n")  # not an object
+            fh.write('{"result": {"variant": "base"}}\n')  # no key
+            fh.write('{"key": "old", "result": {"no_such_field": 1}}\n')
+        reloaded = ResultStore(tmp_path)
+        assert reloaded.get("good") == make_result()
+        assert len(reloaded) == 1

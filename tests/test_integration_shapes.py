@@ -4,8 +4,6 @@ Fast, small-scale versions of the structural facts the evaluation rests
 on (the benchmark suite re-validates them at CI scale).
 """
 
-import pytest
-
 from repro.params import ScalePreset
 from repro.sim import SimConfig, simulate
 from repro.workloads import get_workload, standard_trace
