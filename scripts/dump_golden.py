@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Regenerate the golden-equivalence fixtures in ``tests/golden/``.
+
+Each fixture is the canonical JSON (:func:`repro.exp.store.result_to_json`)
+of one ``simulate()`` run: every engine variant crossed with two smoke
+workloads. ``tests/test_golden_equivalence.py`` pins the engine's output
+byte-identical to these files, so they must only ever be regenerated when
+a simulated *number* is meant to change — never as part of a pure
+performance PR. Run from the repo root:
+
+    python scripts/dump_golden.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.exp.store import result_to_json  # noqa: E402
+from repro.params import ScalePreset  # noqa: E402
+from repro.sim.engine import VARIANTS, simulate  # noqa: E402
+from repro.workloads import standard_trace  # noqa: E402
+
+#: The golden grid: every variant on two structurally different smoke
+#: workloads (OLTP with teams-relevant type mix, and TPC-E).
+GOLDEN_WORKLOADS = ("tpcc-1", "tpce")
+GOLDEN_SEED = 7
+
+
+def golden_dir() -> Path:
+    return Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+
+def main() -> int:
+    out = golden_dir()
+    out.mkdir(parents=True, exist_ok=True)
+    for workload in GOLDEN_WORKLOADS:
+        trace = standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
+        for variant in VARIANTS:
+            result = simulate(trace, variant=variant)
+            path = out / f"{workload}__{variant}.json"
+            path.write_text(result_to_json(result) + "\n")
+            print(f"wrote {path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""Replay-engine throughput benchmark (the perf trajectory's data source).
+
+Times :func:`repro.sim.engine.simulate` per variant on a fixed,
+deterministically generated trace and reports records/second plus wall
+time. Two modes:
+
+* ``--out`` writes the measurements as JSON (``BENCH_<n>.json`` at the
+  repo root is the convention for the per-PR perf trajectory);
+* ``--check`` compares the measurements against a committed baseline
+  JSON and exits non-zero when any variant's throughput regressed by
+  more than ``--max-regression`` (the CI perf-smoke gate).
+
+The trace is generated once and reused across variants and repeats, so
+the numbers isolate engine throughput from trace generation. Each
+variant is timed ``--repeat`` times and the best run is kept (minimum
+wall time is the standard low-noise estimator for CPU-bound loops).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.params import ScalePreset  # noqa: E402
+from repro.sim.engine import VARIANTS, simulate  # noqa: E402
+from repro.workloads import standard_trace  # noqa: E402
+
+
+def bench(
+    workload: str,
+    scale: ScalePreset,
+    variants: list[str],
+    repeat: int,
+    seed: int,
+) -> dict:
+    """Measure every variant; returns the result document."""
+    trace = standard_trace(workload, scale, seed=seed)
+    records = trace.total_records
+    doc: dict = {
+        "workload": workload,
+        "scale": scale.value,
+        "seed": seed,
+        "n_threads": len(trace.threads),
+        "total_records": records,
+        "repeat": repeat,
+        "python": platform.python_version(),
+        "variants": {},
+    }
+    for variant in variants:
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            simulate(trace, variant=variant)
+            best = min(best, time.perf_counter() - t0)
+        doc["variants"][variant] = {
+            "seconds": round(best, 4),
+            "records_per_sec": round(records / best),
+        }
+        print(
+            f"{workload}/{variant:>9}: {best:7.3f}s  "
+            f"{records / best / 1e3:8.1f} krec/s",
+            flush=True,
+        )
+    return doc
+
+
+def check(doc: dict, baseline_path: Path, max_regression: float) -> int:
+    """Compare ``doc`` against a baseline file; returns the exit code."""
+    baseline = json.loads(baseline_path.read_text())
+    failures = []
+    for variant, row in doc["variants"].items():
+        base_row = baseline.get("variants", {}).get(variant)
+        if base_row is None:
+            continue
+        floor = base_row["records_per_sec"] * (1.0 - max_regression)
+        status = "ok" if row["records_per_sec"] >= floor else "REGRESSED"
+        print(
+            f"check {variant:>9}: {row['records_per_sec']:>9} rec/s vs "
+            f"baseline {base_row['records_per_sec']:>9} "
+            f"(floor {floor:>11.0f}) {status}"
+        )
+        if status != "ok":
+            failures.append(variant)
+    if failures:
+        print(
+            f"FAIL: {', '.join(failures)} regressed by more than "
+            f"{max_regression:.0%} vs {baseline_path}"
+        )
+        return 1
+    print("perf check passed")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="tpcc-10")
+    parser.add_argument(
+        "--scale", default="ci", choices=[p.value for p in ScalePreset]
+    )
+    parser.add_argument(
+        "--variants",
+        nargs="+",
+        default=list(VARIANTS),
+        choices=list(VARIANTS),
+    )
+    parser.add_argument("--repeat", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", type=Path, help="write results as JSON")
+    parser.add_argument(
+        "--check", type=Path, help="baseline JSON to compare against"
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.25,
+        help="allowed fractional throughput drop in --check mode",
+    )
+    args = parser.parse_args(argv)
+
+    doc = bench(
+        args.workload,
+        ScalePreset(args.scale),
+        args.variants,
+        args.repeat,
+        args.seed,
+    )
+    if args.out:
+        args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.out}")
+    if args.check:
+        return check(doc, args.check, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
 
 from repro.cache.policies import make_policy
+from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.stats import CacheStats
 from repro.params import CacheParams
 
@@ -23,6 +24,10 @@ from repro.params import CacheParams
 @dataclass(frozen=True)
 class AccessResult:
     """Outcome of one cache reference.
+
+    Only the convenience :meth:`SetAssociativeCache.access` wrapper
+    allocates these; the replay hot path uses the allocation-free
+    :meth:`SetAssociativeCache.access_fast` instead.
 
     Attributes:
         hit: whether the reference hit.
@@ -65,15 +70,30 @@ class SetAssociativeCache:
         ]
         self._index: list[dict[int, int]] = [{} for _ in range(self.n_sets)]
         self.policy = make_policy(params.policy, self.n_sets, self.assoc)
+        self._policy_tracks_invalidate = (
+            type(self.policy).on_invalidate
+            is not ReplacementPolicy.on_invalidate
+        )
         self.stats = CacheStats()
         self.on_evict = on_evict
+        #: Block evicted by the most recent missing :meth:`access_fast`
+        #: (``None`` when the fill landed in an empty way or was
+        #: bypassed). Only meaningful immediately after a miss — the rare
+        #: consumers that care read it there; the common path never
+        #: touches it.
+        self.last_victim: Optional[int] = None
 
     # ------------------------------------------------------------------
     # Hot path
     # ------------------------------------------------------------------
 
-    def access(self, block: int, fill: bool = True) -> AccessResult:
+    def access_fast(self, block: int, fill: bool = True) -> bool:
         """Reference ``block``; fill it on a miss unless ``fill`` is False.
+
+        Returns True on a hit. This is the allocation-free hot path: the
+        evicted block (needed by almost nobody — evictions are delivered
+        through ``on_evict``) is parked in :attr:`last_victim` instead of
+        a per-access result object.
 
         ``fill=False`` is the bypass path: the reference is counted and
         served (from L2/memory, as far as timing is concerned) but does
@@ -82,18 +102,24 @@ class SetAssociativeCache:
         their way to another core cannot erode the assembled collective.
         """
         set_idx = block & self._set_mask
-        index = self._index[set_idx]
         self.stats.accesses += 1
-        way = index.get(block)
+        way = self._index[set_idx].get(block)
         if way is not None:
             self.policy.on_hit(set_idx, way)
-            return AccessResult(hit=True)
+            return True
         self.stats.misses += 1
         self.policy.on_miss(set_idx)
-        if not fill:
-            return AccessResult(hit=False)
-        victim = self._fill(set_idx, block)
-        return AccessResult(hit=False, victim=victim)
+        if fill:
+            self.last_victim = self._fill(set_idx, block)
+        else:
+            self.last_victim = None
+        return False
+
+    def access(self, block: int, fill: bool = True) -> AccessResult:
+        """Allocating wrapper around :meth:`access_fast` (API compat)."""
+        if self.access_fast(block, fill=fill):
+            return AccessResult(hit=True)
+        return AccessResult(hit=False, victim=self.last_victim)
 
     def _fill(self, set_idx: int, block: int) -> Optional[int]:
         """Install ``block`` into ``set_idx``; return the evicted block."""
@@ -143,7 +169,8 @@ class SetAssociativeCache:
         if way is None:
             return False
         self._tags[set_idx][way] = None
-        self.policy.on_invalidate(set_idx, way)
+        if self._policy_tracks_invalidate:
+            self.policy.on_invalidate(set_idx, way)
         self.stats.invalidations += 1
         if self.on_evict is not None:
             self.on_evict(block)

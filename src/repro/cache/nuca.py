@@ -67,9 +67,9 @@ class NucaL2:
         bank = self.bank_of(block)
         # Shift block id so the bank-select bits do not alias set bits.
         local = block // self.n_banks
-        result = self._banks[bank].access(local)
+        hit = self._banks[bank].access_fast(local)
         round_trip = 2 * self.torus.latency(core, bank)
-        return result.hit, self.hit_latency + round_trip
+        return hit, self.hit_latency + round_trip
 
     def probe(self, block: int) -> bool:
         """Residency test without state change."""

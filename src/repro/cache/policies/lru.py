@@ -1,8 +1,8 @@
 """LRU and the LRU-insertion-point family (LIP, BIP, DIP).
 
-All four policies share one mechanism: a per-set recency list whose head is
-the eviction candidate. They differ only in where a newly filled block is
-inserted:
+All four policies share one mechanism: a per-set recency order whose
+least-recent end is the eviction candidate. They differ only in where a
+newly filled block is inserted:
 
 * **LRU** inserts at the MRU end (classic).
 * **LIP** (LRU Insertion Policy) inserts at the LRU end, so a block must
@@ -14,6 +14,18 @@ inserted:
 
 The bimodal "probability" is implemented as a deterministic 1-in-32
 counter so simulations are exactly reproducible.
+
+Implementation note — age counters, not lists. The recency order is kept
+as one monotonic age per way: an MRU-end touch assigns the set's
+next-higher age, an LRU-end insertion the next-lower one, and the victim
+is the minimum-age way. Ages assigned this way are strictly ordered
+exactly like positions in an explicit recency list (every assignment goes
+strictly above or strictly below all live ages, and removals never
+reorder survivors), so hit/fill/victim behaviour is bit-identical to the
+list form — without its O(assoc) ``list.remove`` on every single hit,
+which dominated the replay profile. Invalidated ways keep a stale age:
+harmless, because the cache fills empty ways before consulting
+:meth:`choose_victim` and every fill assigns a fresh age.
 """
 
 from __future__ import annotations
@@ -36,30 +48,40 @@ class LruPolicy(ReplacementPolicy):
 
     def __init__(self, n_sets: int, assoc: int) -> None:
         super().__init__(n_sets, assoc)
-        self._order: list[list[int]] = [[] for _ in range(n_sets)]
+        self._age: list[list[int]] = [[0] * assoc for _ in range(n_sets)]
+        #: Per-set high-water age (MRU-end assignments count up from 0).
+        self._hi = [0] * n_sets
+        #: Per-set low-water age (LRU-end assignments count down from 0).
+        self._lo = [0] * n_sets
 
     def on_hit(self, set_idx: int, way: int) -> None:
-        order = self._order[set_idx]
-        order.remove(way)
-        order.append(way)
+        hi = self._hi[set_idx] + 1
+        self._hi[set_idx] = hi
+        self._age[set_idx][way] = hi
 
     def on_fill(self, set_idx: int, way: int) -> None:
-        order = self._order[set_idx]
-        if way in order:
-            order.remove(way)
         self._insert(set_idx, way)
 
     def _insert(self, set_idx: int, way: int) -> None:
         """Insert a fresh block at the MRU end (subclasses override)."""
-        self._order[set_idx].append(way)
+        hi = self._hi[set_idx] + 1
+        self._hi[set_idx] = hi
+        self._age[set_idx][way] = hi
+
+    def _insert_lru(self, set_idx: int, way: int) -> None:
+        """Insert a fresh block at the LRU end (next eviction candidate)."""
+        lo = self._lo[set_idx] - 1
+        self._lo[set_idx] = lo
+        self._age[set_idx][way] = lo
 
     def choose_victim(self, set_idx: int) -> int:
-        return self._order[set_idx][0]
+        ages = self._age[set_idx]
+        return ages.index(min(ages))
 
-    def on_invalidate(self, set_idx: int, way: int) -> None:
-        order = self._order[set_idx]
-        if way in order:
-            order.remove(way)
+    def recency_order(self, set_idx: int) -> list[int]:
+        """Ways of one set ordered LRU-first (tests and diagnostics)."""
+        ages = self._age[set_idx]
+        return sorted(range(self.assoc), key=ages.__getitem__)
 
 
 @register_policy
@@ -69,7 +91,7 @@ class LipPolicy(LruPolicy):
     name = "lip"
 
     def _insert(self, set_idx: int, way: int) -> None:
-        self._order[set_idx].insert(0, way)
+        self._insert_lru(set_idx, way)
 
 
 @register_policy
@@ -85,9 +107,9 @@ class BipPolicy(LruPolicy):
     def _insert(self, set_idx: int, way: int) -> None:
         self._fill_count += 1
         if self._fill_count % BIMODAL_EPSILON == 0:
-            self._order[set_idx].append(way)
+            super()._insert(set_idx, way)
         else:
-            self._order[set_idx].insert(0, way)
+            self._insert_lru(set_idx, way)
 
 
 @register_policy
@@ -126,12 +148,11 @@ class DipPolicy(LruPolicy):
         return self._psel >= PSEL_INIT
 
     def _insert(self, set_idx: int, way: int) -> None:
-        order = self._order[set_idx]
         if not self._use_bip(set_idx):
-            order.append(way)
+            super()._insert(set_idx, way)
             return
         self._fill_count += 1
         if self._fill_count % BIMODAL_EPSILON == 0:
-            order.append(way)
+            super()._insert(set_idx, way)
         else:
-            order.insert(0, way)
+            self._insert_lru(set_idx, way)

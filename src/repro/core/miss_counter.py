@@ -15,6 +15,8 @@ from repro.errors import ConfigurationError
 class MissCounter:
     """Resettable saturating miss counter (the paper's MC)."""
 
+    __slots__ = ("fill_up_t", "_count")
+
     def __init__(self, fill_up_t: int) -> None:
         if fill_up_t <= 0:
             raise ConfigurationError("fill_up_t must be positive")

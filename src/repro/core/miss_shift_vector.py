@@ -20,6 +20,8 @@ from repro.errors import ConfigurationError
 class MissShiftVector:
     """Fixed-width hit/miss history with O(1) dilution queries."""
 
+    __slots__ = ("window", "dilution_t", "_bits", "_ones")
+
     def __init__(self, window: int = 100, dilution_t: int = 10) -> None:
         if window <= 0:
             raise ConfigurationError("window must be positive")

@@ -21,6 +21,8 @@ from repro.errors import ConfigurationError
 class MissedTagQueue:
     """FIFO of presence bitvectors for recently missed instruction tags."""
 
+    __slots__ = ("matched_t", "n_cores", "_entries")
+
     def __init__(self, matched_t: int, n_cores: int) -> None:
         if matched_t <= 0:
             raise ConfigurationError("matched_t must be positive")

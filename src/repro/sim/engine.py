@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.cache.classify import MissClass, MissClassifier
+from repro.cache.policies.base import ReplacementPolicy
+from repro.cache.policies.lru import LruPolicy
 from repro.core.agent import MigrationReason, SliccAgent
 from repro.core.scheduler import ThreadQueues
 from repro.core.txn_types import PreambleTypeDetector, SoftwareTypeOracle
@@ -42,6 +44,7 @@ from repro.prefetch.pif import pif_l1i_params
 from repro.sim.machine import Machine
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingModel
+from repro.sim.tlb import PAGE_SHIFT
 from repro.workloads.trace import KIND_INSTR, KIND_STORE, Trace
 
 VARIANTS = (
@@ -122,16 +125,83 @@ class SimConfig:
 
 
 class _ThreadState:
-    """Mutable replay position of one thread."""
+    """Mutable replay position of one thread.
 
-    __slots__ = ("trace", "pos", "pending_cycles", "done", "i_misses")
+    ``addr``/``kind`` are plain-list copies of the trace arrays,
+    materialised once at admission: indexing a Python list yields cached
+    small ints where indexing a numpy array allocates a numpy scalar that
+    must then be unboxed — a large per-record cost in the replay loop.
+    """
+
+    __slots__ = ("trace", "pos", "pending_cycles", "done", "addr", "kind")
 
     def __init__(self, trace) -> None:
         self.trace = trace
         self.pos = 0
         self.pending_cycles = 0
         self.done = False
-        self.i_misses = 0
+        self.addr: Optional[list[int]] = None
+        self.kind: Optional[list[int]] = None
+
+
+class _CoreHot(NamedTuple):
+    """Per-core references the replay loop touches, resolved once.
+
+    run() unpacks this positionally per dispatch; the field order here is
+    the single source of truth (construction in ``_build_core_hot`` uses
+    keywords, so only the unpack in run() must mirror this order).
+    """
+
+    l1i_index: list
+    l1i_tags: list
+    l1i_set_mask: int
+    l1i_assoc: int
+    l1i_stats: object
+    l1i_is_lru: bool
+    l1i_on_hit: object
+    l1i_need_on_miss: bool
+    l1i_on_miss: object
+    l1i_on_fill: object
+    l1i_choose_victim: object
+    l1i_on_evict: object
+    l1i_evict_is_sig: bool
+    l1i_ages: Optional[list]
+    l1i_hi: Optional[list]
+    itlb: object
+    itlb_map: object
+    itlb_entries: int
+    l1d_index: list
+    l1d_tags: list
+    l1d_set_mask: int
+    l1d_assoc: int
+    l1d_stats: object
+    l1d_is_lru: bool
+    l1d_on_hit: object
+    l1d_need_on_miss: bool
+    l1d_on_miss: object
+    l1d_on_fill: object
+    l1d_choose_victim: object
+    l1d_on_evict: object
+    l1d_evict_is_dir: bool
+    l1d_ages: Optional[list]
+    l1d_hi: Optional[list]
+    dtlb: object
+    dtlb_map: object
+    dtlb_entries: int
+    sig_masks: Optional[list]
+    sig_imask: int
+    sig_bit: int
+    presence_excl: int
+    slicc_agent: Optional[SliccAgent]
+    steps_agent: Optional[SliccAgent]
+    mc: object
+    mc_limit: int
+    msv: object
+    msv_bits: object
+    msv_window: int
+    msv_dilution: int
+    mtq_entries: object
+    mtq_matched: int
 
 
 class ReplayEngine:
@@ -168,6 +238,8 @@ class ReplayEngine:
         else:
             self.worker_cores = list(range(n))
         self._worker_set = frozenset(self.worker_cores)
+        #: Worker cores as a bitmask (the fused presence-probe operand).
+        self._worker_mask = sum(1 << c for c in self.worker_cores)
 
         self.queues = ThreadQueues(n)
         self.agents: Optional[list[SliccAgent]] = None
@@ -216,6 +288,16 @@ class ReplayEngine:
                 counts[key] = counts.get(key, 0) + 1
             self._partition = self._build_partition(counts)
 
+        # Sorted-tuple mirror of each partition region, precomputed so
+        # placement does not re-sort the allowed frozenset per thread.
+        self._worker_sorted = tuple(self.worker_cores)
+        self._partition_sorted: Optional[dict[int, tuple[int, ...]]] = None
+        if self._partition is not None:
+            self._partition_sorted = {
+                key: tuple(sorted(cores))
+                for key, cores in self._partition.items()
+            }
+
         self.prefetchers: Optional[list[NextLinePrefetcher]] = None
         if variant == "nextline":
             self.prefetchers = []
@@ -234,6 +316,23 @@ class ReplayEngine:
             self.d_classifiers = [
                 MissClassifier(system.l1d.n_blocks) for _ in range(n)
             ]
+
+        # Fast-path eligibility for the inlined record handling in run():
+        # any consumer that must observe individual accesses beyond the
+        # caches themselves (miss classifiers, the next-line prefetcher's
+        # consume check, the migration data prefetcher, the banked NUCA
+        # L2) forces the corresponding record kind through the generic
+        # _process_instruction/_process_data path.
+        self._fast_i = (
+            self.prefetchers is None
+            and self.i_classifiers is None
+            and self.machine.nuca is None
+        )
+        self._fast_d = (
+            self.data_prefetcher is None
+            and self.d_classifiers is None
+            and self.machine.nuca is None
+        )
 
         # Thread / core state.
         self.threads = [_ThreadState(t) for t in trace.threads]
@@ -266,6 +365,12 @@ class ReplayEngine:
             )
         self._arrival_time = [spacing * i for i in range(len(self.threads))]
 
+        # Work-stealing knobs, resolved once (the _rebalance early-out
+        # runs on every migration and completion).
+        self._steal_enabled = self.is_slicc and config.work_stealing
+        self._steal_min_depth = config.steal_min_depth
+        self._steal_resets_mc = config.steal_resets_mc
+
         # Statistics.
         self.migrations = 0
         self.context_switches = 0
@@ -279,6 +384,117 @@ class ReplayEngine:
         self.cycles_migration = 0
         self.cycles_tlb = 0
         self._ran = False
+
+        # Per-core tuples of every reference the replay loop touches,
+        # resolved once here (after all cache/prefetcher/signature
+        # wiring) so each dispatch is a single tuple unpack instead of
+        # dozens of attribute chains. Everything inside is stable for
+        # the lifetime of the run: policies, stat blocks, TLB maps and
+        # tracker objects are mutated in place, never rebound.
+        self._core_hot = [self._build_core_hot(core) for core in range(n)]
+
+    def _build_core_hot(self, core: int) -> "_CoreHot":
+        machine = self.machine
+        l1i = machine.l1i[core]
+        l1i_policy = l1i.policy
+        l1i_is_lru = l1i_policy.__class__ is LruPolicy
+        l1d = machine.l1d[core]
+        l1d_policy = l1d.policy
+        l1d_is_lru = l1d_policy.__class__ is LruPolicy
+        itlb = machine.itlb[core]
+        dtlb = machine.dtlb[core]
+        sig_set = machine.signature_set
+        if sig_set is not None:
+            sig_masks = sig_set.masks
+            sig_imask = machine._sig_index_mask
+            sig_bit = 1 << core
+            presence_excl = self._worker_mask & ~(1 << core)
+        else:
+            sig_masks = None
+            sig_imask = sig_bit = presence_excl = 0
+        slicc_agent = self.agents[core] if self.agents is not None else None
+        steps_agent = (
+            self.steps_agents[core] if self.steps_agents is not None else None
+        )
+        track = slicc_agent if slicc_agent is not None else steps_agent
+        if track is not None:
+            mc = track.mc
+            mc_limit = mc.fill_up_t
+            msv = track.msv
+            msv_bits = msv._bits
+            msv_window = msv.window
+            msv_dilution = msv.dilution_t
+        else:
+            mc = msv = msv_bits = None
+            mc_limit = msv_window = msv_dilution = 0
+        if slicc_agent is not None:
+            mtq_entries = slicc_agent.mtq._entries
+            mtq_matched = slicc_agent.mtq.matched_t
+        else:
+            mtq_entries = None
+            mtq_matched = 0
+        return _CoreHot(
+            l1i_index=l1i._index,
+            l1i_tags=l1i._tags,
+            l1i_set_mask=l1i._set_mask,
+            l1i_assoc=l1i.assoc,
+            l1i_stats=l1i.stats,
+            l1i_is_lru=l1i_is_lru,
+            l1i_on_hit=l1i_policy.on_hit,
+            l1i_need_on_miss=(
+                type(l1i_policy).on_miss is not ReplacementPolicy.on_miss
+            ),
+            l1i_on_miss=l1i_policy.on_miss,
+            l1i_on_fill=l1i_policy.on_fill,
+            l1i_choose_victim=l1i_policy.choose_victim,
+            l1i_on_evict=l1i.on_evict,
+            l1i_evict_is_sig=(
+                machine.signatures is not None
+                and l1i.on_evict == machine.signatures[core].on_evict
+            ),
+            l1i_ages=l1i_policy._age if l1i_is_lru else None,
+            l1i_hi=l1i_policy._hi if l1i_is_lru else None,
+            itlb=itlb,
+            itlb_map=itlb._map,
+            itlb_entries=itlb.entries,
+            l1d_index=l1d._index,
+            l1d_tags=l1d._tags,
+            l1d_set_mask=l1d._set_mask,
+            l1d_assoc=l1d.assoc,
+            l1d_stats=l1d.stats,
+            l1d_is_lru=l1d_is_lru,
+            l1d_on_hit=l1d_policy.on_hit,
+            l1d_need_on_miss=(
+                type(l1d_policy).on_miss is not ReplacementPolicy.on_miss
+            ),
+            l1d_on_miss=l1d_policy.on_miss,
+            l1d_on_fill=l1d_policy.on_fill,
+            l1d_choose_victim=l1d_policy.choose_victim,
+            l1d_on_evict=l1d.on_evict,
+            l1d_evict_is_dir=(
+                getattr(l1d.on_evict, "func", None)
+                == machine.directory.on_evict
+            ),
+            l1d_ages=l1d_policy._age if l1d_is_lru else None,
+            l1d_hi=l1d_policy._hi if l1d_is_lru else None,
+            dtlb=dtlb,
+            dtlb_map=dtlb._map,
+            dtlb_entries=dtlb.entries,
+            sig_masks=sig_masks,
+            sig_imask=sig_imask,
+            sig_bit=sig_bit,
+            presence_excl=presence_excl,
+            slicc_agent=slicc_agent,
+            steps_agent=steps_agent,
+            mc=mc,
+            mc_limit=mc_limit,
+            msv=msv,
+            msv_bits=msv_bits,
+            msv_window=msv_window,
+            msv_dilution=msv_dilution,
+            mtq_entries=mtq_entries,
+            mtq_matched=mtq_matched,
+        )
 
     # ------------------------------------------------------------------
     # Heap / activation helpers
@@ -343,10 +559,12 @@ class ReplayEngine:
 
     def _idle_cores(self) -> list[int]:
         """Worker cores with nothing running and nothing queued."""
+        running = self.running
+        queues = self.queues._queues
         return [
             c
             for c in self.worker_cores
-            if self.running[c] is None and self.queues.is_empty(c)
+            if running[c] is None and not queues[c]
         ]
 
     def _rebalance(self, now: int) -> None:
@@ -362,13 +580,13 @@ class ReplayEngine:
         This implements the paper's stated scheduler goal of maximising
         core utilisation and reducing queuing delay (Section 4.3.2).
         """
-        if self.agents is None or not self.config.work_stealing:
+        if not self._steal_enabled:
             return
         idle = self._idle_cores()
         if not idle:
             return
         for victim in self.queues.deepest_cores(
-            min_depth=self.config.steal_min_depth
+            min_depth=self._steal_min_depth
         ):
             if not idle:
                 break
@@ -383,7 +601,7 @@ class ReplayEngine:
                 continue
             idle.remove(target)
             self.steals += 1
-            if self.config.steal_resets_mc:
+            if self._steal_resets_mc:
                 # The idle core adopts (replicates) the stolen thread's
                 # segment: hot chunks end up on several cores, spreading
                 # the convoy that forms behind popular code.
@@ -411,6 +629,10 @@ class ReplayEngine:
             self._arrival_ptr += 1
             self._resident += 1
             state = self.threads[thread_id]
+            if state.addr is None:
+                # One-time numpy -> list conversion (see _ThreadState).
+                state.addr = state.trace.addr.tolist()
+                state.kind = state.trace.kind.tolist()
             if isinstance(self.type_source, PreambleTypeDetector):
                 # Scout-core preprocessing: a few tens of instructions on
                 # the dedicated core before the thread starts working.
@@ -428,7 +650,12 @@ class ReplayEngine:
         idle = [c for c in self._idle_cores() if c in allowed]
         if idle:
             return idle[0]
-        return self.queues.least_congested(allowed=sorted(allowed))
+        if self._partition_sorted is None:
+            region = self._worker_sorted
+        else:
+            key = self._thread_type_key.get(thread_id, -1)
+            region = self._partition_sorted.get(key, self._worker_sorted)
+        return self.queues.least_congested(allowed=region)
 
     # ------------------------------------------------------------------
     # Record processing
@@ -439,15 +666,17 @@ class ReplayEngine:
 
         The second element is True when SLICC decided to migrate — the
         caller must stop the quantum and perform the migration (the
-        decision is stored in ``self._pending_decision``).
+        decision is stored in ``self._pending_target``).
+
+        The TLB has already been consulted by the caller (run() handles
+        it inline for every record); this path owns everything from the
+        L1 down. It is the generic fallback — run() short-circuits the
+        common configurations inline with identical semantics.
         """
         machine = self.machine
         timing = self.timing
         cycles = timing.ibase
         self.cycles_base += timing.ibase
-        if not machine.itlb[core].access(block):
-            cycles += timing.itlb_miss
-            self.cycles_tlb += timing.itlb_miss
 
         # Segment protection: once this core's cache is full of a useful
         # segment (MC saturated), demand misses mostly bypass the fill
@@ -464,11 +693,11 @@ class ReplayEngine:
         if self.agents is not None and self.agents[core].cache_full:
             self._bypass_tick += 1
             fill = self._bypass_tick % BYPASS_REPAIR_RATE == 0
-        result = machine.l1i[core].access(block, fill=fill)
+        hit = machine.l1i[core].access_fast(block, fill=fill)
         if self.i_classifiers is not None:
-            self.i_classifiers[core].observe(block, result.hit)
+            self.i_classifiers[core].observe(block, hit)
 
-        if result.hit:
+        if hit:
             if self.prefetchers is not None and self.prefetchers[
                 core
             ].consume_if_prefetched(block):
@@ -496,11 +725,11 @@ class ReplayEngine:
 
         if self.steps_agents is not None:
             agent = self.steps_agents[core]
-            agent.observe_access(result.hit)
+            agent.observe_access(hit)
             if not agent.cache_full:
                 return cycles, False
             if (
-                not result.hit
+                not hit
                 and agent.msv.dilution_reached
                 and not self.queues.is_empty(core)
             ):
@@ -514,48 +743,58 @@ class ReplayEngine:
             return cycles, False
 
         agent = self.agents[core]
-        gather = agent.observe_access(result.hit)
+        gather = agent.observe_access(hit)
         if gather:
-            mask = machine.presence_mask(block, core, self.worker_cores)
+            mask = machine.presence_mask(block, core, self._worker_mask)
             agent.note_miss_presence(mask)
-            if agent.migration_enabled:
-                thread_id = self.running[core]
-                allowed = self._allowed_for(thread_id)
-                decision = agent.decide(
-                    self._idle_cores(),
-                    allowed_cores=allowed,
-                    nearest=lambda cands: self.machine.torus.nearest(
-                        core, cands
-                    ),
-                )
-                if decision.target is not None:
-                    if decision.reason is MigrationReason.IDLE_CORE:
-                        # The idle core adopts the thread's new segment:
-                        # unfreeze its fill path.
-                        self.agents[decision.target].mc.reset()
-                    self._pending_target = decision.target
-                    return cycles, True
+            if agent.migration_enabled and self._evaluate_migration(
+                core, agent
+            ):
+                return cycles, True
         return cycles, False
 
+    def _evaluate_migration(self, core: int, agent: SliccAgent) -> bool:
+        """Ask the agent for a migration target; stage it if one exists.
+
+        Returns True when a migration was staged in ``_pending_target``
+        (the caller must end the quantum and perform it).
+        """
+        thread_id = self.running[core]
+        allowed = self._allowed_for(thread_id)
+        decision = agent.decide(
+            self._idle_cores(),
+            allowed_cores=allowed,
+            nearest=lambda cands: self.machine.torus.nearest(core, cands),
+        )
+        if decision.target is not None:
+            if decision.reason is MigrationReason.IDLE_CORE:
+                # The idle core adopts the thread's new segment:
+                # unfreeze its fill path.
+                self.agents[decision.target].mc.reset()
+            self._pending_target = decision.target
+            return True
+        return False
+
     def _process_data(self, core: int, block: int, is_store: bool) -> int:
-        """One data record; returns cycles charged."""
+        """One data record; returns cycles charged.
+
+        As with :meth:`_process_instruction`, the TLB was already
+        handled by the caller.
+        """
         machine = self.machine
         timing = self.timing
         cycles = timing.dbase
         self.cycles_base += timing.dbase
-        if not machine.dtlb[core].access(block):
-            cycles += timing.dtlb_miss
-            self.cycles_tlb += timing.dtlb_miss
 
         if self.data_prefetcher is not None:
             thread_id = self.running[core]
             self.data_prefetcher.record_access(thread_id, block)
             if not machine.l1d[core].probe(block):
                 self.data_prefetcher.note_demand(thread_id, block)
-        result = machine.l1d[core].access(block)
+        hit = machine.l1d[core].access_fast(block)
         if self.d_classifiers is not None:
-            self.d_classifiers[core].observe(block, result.hit)
-        if not result.hit:
+            self.d_classifiers[core].observe(block, hit)
+        if not hit:
             if machine.nuca is not None:
                 l2_hit, _ = machine.nuca.access(core, block)
                 penalty = timing.d_miss(l2_hit, is_store)
@@ -565,7 +804,7 @@ class ReplayEngine:
             self.cycles_d_stall += penalty
         if is_store:
             machine.directory.on_write(core, block)
-        elif not result.hit:
+        elif not hit:
             machine.directory.on_read(core, block)
         return cycles
 
@@ -637,32 +876,63 @@ class ReplayEngine:
         self._admit_threads(now=0)
 
         quantum = self.config.quantum
+        machine = self.machine
+        timing = self.timing
+        ibase = timing.ibase
+        dbase = timing.dbase
+        fast_i = self._fast_i
+        fast_d = self._fast_d
+        process_instruction = self._process_instruction
+        process_data = self._process_data
+        directory_on_write = machine.directory.on_write
+        dir_sharers = machine.directory._sharers
+        queues_is_empty = self.queues.is_empty
+        l2_seen = machine._l2_seen
+        itlb_pen = timing.itlb_miss
+        dtlb_pen = timing.dtlb_miss
+        i_miss_l2 = timing.i_miss_l2
+        i_miss_mem = timing.i_miss_mem
+        d_load_l2 = timing.d_load_l2
+        d_load_mem = timing.d_load_mem
+        d_store_l2 = timing.d_store_l2
+        d_store_mem = timing.d_store_mem
+        core_hot = self._core_hot
+        KI = KIND_INSTR
+        KS = KIND_STORE
+        heappop = heapq.heappop
+        heap = self._heap
+        in_heap = self._in_heap
+        clocks = self.clock
+        threads = self.threads
+        n_threads = len(threads)
+        arrival_time = self._arrival_time
+        running = self.running
         while True:
-            if not self._heap:
-                if self._arrival_ptr >= len(self.threads):
+            if not heap:
+                if self._arrival_ptr >= n_threads:
                     break
                 # All admitted work finished before the next arrival: jump
                 # time forward to the arrival and admit it.
                 now = max(
-                    max(self.clock),
-                    self._arrival_time[self._arrival_ptr],
+                    max(clocks),
+                    arrival_time[self._arrival_ptr],
                 )
                 self._admit_threads(now)
-                if not self._heap:
+                if not heap:
                     raise SimulationError(
                         "no core activated by a due arrival — pool stuck"
                     )
                 continue
-            clock, _, core = heapq.heappop(self._heap)
-            self._in_heap[core] = False
-            clock = self.clock[core] = max(clock, self.clock[core])
+            clock, _, core = heappop(heap)
+            in_heap[core] = False
+            clock = clocks[core] = max(clock, clocks[core])
             if (
-                self._arrival_ptr < len(self.threads)
-                and self._arrival_time[self._arrival_ptr] <= clock
+                self._arrival_ptr < n_threads
+                and arrival_time[self._arrival_ptr] <= clock
             ):
                 self._admit_threads(clock)
 
-            if self.running[core] is None:
+            if running[core] is None:
                 thread_id = self.queues.dequeue(core)
                 if thread_id is None:
                     # Note: the paper resets the MC when a queue drains
@@ -676,45 +946,405 @@ class ReplayEngine:
                     if not self.queues.is_empty(core):
                         self._activate(core, clock)
                     continue
-                self.running[core] = thread_id
-                state = self.threads[thread_id]
+                running[core] = thread_id
+                state = threads[thread_id]
                 if self.agents is not None:
                     self.agents[core].on_thread_switch()
                 if self.steps_agents is not None:
                     self.steps_agents[core].msv.reset()
                 if state.pending_cycles:
-                    self.clock[core] += state.pending_cycles
+                    clocks[core] += state.pending_cycles
                     state.pending_cycles = 0
 
-            thread_id = self.running[core]
-            state = self.threads[thread_id]
-            trace = state.trace
-            addr = trace.addr
-            kind = trace.kind
+            thread_id = running[core]
+            state = threads[thread_id]
+            addr = state.addr
+            kind = state.kind
             n_records = len(addr)
+            pos = state.pos
             cycles = 0
+            tlb_cycles = 0
+            i_stall_cycles = 0
+            d_stall_cycles = 0
             migrated = False
 
-            for _ in range(quantum):
-                if state.pos >= n_records:
-                    break
-                block = int(addr[state.pos])
-                k = int(kind[state.pos])
-                state.pos += 1
-                if k == KIND_INSTR:
-                    step, migrate = self._process_instruction(core, block)
-                    cycles += step
-                    if step > self.timing.ibase:
-                        state.i_misses += 1
-                    if migrate:
-                        migrated = True
-                        break
-                else:
-                    cycles += self._process_data(
-                        core, block, k == KIND_STORE
-                    )
+            # Per-core hot references: one tuple unpack per dispatch
+            # (field order is defined by _CoreHot — keep this unpack
+            # aligned with the class). The loop body below handles the
+            # common record — a TLB access plus an L1 hit or miss —
+            # entirely inline, with no attribute chains, method dispatch
+            # or result allocation. Variant machinery that must observe
+            # individual accesses (prefetchers, classifiers, NUCA) falls
+            # back to _process_instruction/_process_data, which replay
+            # the identical semantics; the inline paths mirror those
+            # functions line for line and the golden suite pins them
+            # byte-identical.
+            (
+                l1i_index,
+                l1i_tags,
+                l1i_set_mask,
+                l1i_assoc,
+                l1i_stats,
+                l1i_is_lru,
+                l1i_on_hit,
+                l1i_need_on_miss,
+                l1i_on_miss,
+                l1i_on_fill,
+                l1i_choose_victim,
+                l1i_on_evict,
+                l1i_evict_is_sig,
+                l1i_ages,
+                l1i_hi,
+                itlb,
+                itlb_map,
+                itlb_entries,
+                l1d_index,
+                l1d_tags,
+                l1d_set_mask,
+                l1d_assoc,
+                l1d_stats,
+                l1d_is_lru,
+                l1d_on_hit,
+                l1d_need_on_miss,
+                l1d_on_miss,
+                l1d_on_fill,
+                l1d_choose_victim,
+                l1d_on_evict,
+                l1d_evict_is_dir,
+                l1d_ages,
+                l1d_hi,
+                dtlb,
+                dtlb_map,
+                dtlb_entries,
+                sig_masks,
+                sig_imask,
+                sig_bit,
+                presence_excl,
+                slicc_agent,
+                steps_agent,
+                mc,
+                mc_limit,
+                msv,
+                msv_bits,
+                msv_window,
+                msv_dilution,
+                mtq_entries,
+                mtq_matched,
+            ) = core_hot[core]
 
-            self.clock[core] += cycles
+            # Batched counters, flushed once per quantum: per-record
+            # read-modify-write on heap objects is pure overhead when
+            # nothing reads the totals mid-run.
+            bypass_tick = self._bypass_tick
+            if msv is not None:
+                # Local mirrors of the MSV occupancy/popcount, flushed at
+                # quantum end; resynced after _evaluate_migration, whose
+                # STAY outcome resets the MSV in place.
+                msv_n = len(msv_bits)
+                msv_ones = msv._ones
+            itlb_last = -1
+            dtlb_last = -1
+            i_n = 0
+            d_n = 0
+            itlb_m = 0
+            dtlb_m = 0
+            i_m = 0
+            d_m = 0
+            i_ev = 0
+            d_ev = 0
+
+            end = pos + quantum
+            if end > n_records:
+                end = n_records
+            for block, k in zip(addr[pos:end], kind[pos:end]):
+                pos += 1
+                if k == KI:
+                    # --- I-TLB (Tlb.access, inlined) ---
+                    page = block >> PAGE_SHIFT
+                    i_n += 1
+                    if page == itlb_last:
+                        # Already the most-recent entry: move_to_end
+                        # would be a no-op (sequential blocks share a
+                        # page, so this is the common case).
+                        pass
+                    elif page in itlb_map:
+                        itlb_map.move_to_end(page)
+                        itlb_last = page
+                    else:
+                        itlb_m += 1
+                        itlb_map[page] = None
+                        itlb_last = page
+                        if len(itlb_map) > itlb_entries:
+                            itlb_map.popitem(last=False)
+                        tlb_cycles += itlb_pen
+                    if not fast_i:
+                        step, migrate = process_instruction(core, block)
+                        cycles += step
+                        if migrate:
+                            migrated = True
+                            break
+                        continue
+                    # (ibase is charged once per inline record at
+                    # the quantum flush: ibase * i_n.)
+                    set_idx = block & l1i_set_mask
+                    index = l1i_index[set_idx]
+                    if block in index:
+                        # --- L1-I hit ---
+                        way = index[block]
+                        if l1i_is_lru:
+                            hi = l1i_hi[set_idx] + 1
+                            l1i_hi[set_idx] = hi
+                            l1i_ages[set_idx][way] = hi
+                        else:
+                            l1i_on_hit(set_idx, way)
+                        if mc is not None and mc._count >= mc_limit:
+                            if slicc_agent is not None:
+                                bypass_tick += 1
+                            # msv.record(miss=False), inlined
+                            if msv_n == msv_window:
+                                msv_ones -= msv_bits[0]
+                            else:
+                                msv_n += 1
+                            msv_bits.append(0)
+                        continue
+                    # --- L1-I miss ---
+                    i_m += 1
+                    if l1i_need_on_miss:
+                        l1i_on_miss(set_idx)
+                    fill = True
+                    mc_full = False
+                    if slicc_agent is not None and mc._count >= mc_limit:
+                        # Segment-protection bypass (see
+                        # _process_instruction for the rationale).
+                        mc_full = True
+                        bypass_tick += 1
+                        fill = bypass_tick % BYPASS_REPAIR_RATE == 0
+                    if fill:
+                        # --- SetAssociativeCache._fill, inlined ---
+                        if len(index) < l1i_assoc:
+                            tags = l1i_tags[set_idx]
+                            way = tags.index(None)
+                        else:
+                            if l1i_is_lru:
+                                ages = l1i_ages[set_idx]
+                                way = ages.index(min(ages))
+                            else:
+                                way = l1i_choose_victim(set_idx)
+                            tags = l1i_tags[set_idx]
+                            victim = tags[way]
+                            del index[victim]
+                            i_ev += 1
+                            if l1i_evict_is_sig:
+                                # BloomSignature.on_evict, inlined:
+                                # clear the bit unless a same-set
+                                # survivor shares the filter index.
+                                vidx = victim & sig_imask
+                                for other in index:
+                                    if other & sig_imask == vidx:
+                                        break
+                                else:
+                                    sig_masks[vidx] &= ~sig_bit
+                            elif l1i_on_evict is not None:
+                                l1i_on_evict(victim)
+                        tags[way] = block
+                        index[block] = way
+                        if l1i_is_lru:
+                            hi = l1i_hi[set_idx] + 1
+                            l1i_hi[set_idx] = hi
+                            l1i_ages[set_idx][way] = hi
+                        else:
+                            l1i_on_fill(set_idx, way)
+                    if block in l2_seen:
+                        i_stall_cycles += i_miss_l2
+                    else:
+                        l2_seen.add(block)
+                        i_stall_cycles += i_miss_mem
+                    if fill and sig_masks is not None:
+                        sig_masks[block & sig_imask] |= sig_bit
+                    if steps_agent is not None:
+                        # observe_access + the STEPS dilution check,
+                        # inlined from _process_instruction.
+                        if mc._count < mc_limit:
+                            mc._count += 1
+                        else:
+                            if msv_n == msv_window:
+                                msv_ones -= msv_bits[0]
+                            else:
+                                msv_n += 1
+                            msv_bits.append(1)
+                            msv_ones += 1
+                        if (
+                            mc._count >= mc_limit
+                            and msv_ones >= msv_dilution
+                            and not queues_is_empty(core)
+                        ):
+                            self._pending_target = -1
+                            migrated = True
+                            break
+                    elif slicc_agent is not None:
+                        if not mc_full:
+                            # observe_access -> mc.record_miss, inlined
+                            # (mc_full was False, so no saturation check).
+                            mc._count += 1
+                        else:
+                            # observe_access -> msv.record(True) and the
+                            # presence gather (note_miss_presence) with
+                            # the fused bloom probe, inlined.
+                            if msv_n == msv_window:
+                                msv_ones -= msv_bits[0]
+                            else:
+                                msv_n += 1
+                            msv_bits.append(1)
+                            msv_ones += 1
+                            mtq_entries.append(
+                                sig_masks[block & sig_imask] & presence_excl
+                            )
+                            if (
+                                msv_ones >= msv_dilution
+                                and len(mtq_entries) == mtq_matched
+                            ):
+                                if self._evaluate_migration(
+                                    core, slicc_agent
+                                ):
+                                    migrated = True
+                                    break
+                                # STAY: the agent reset its trackers in
+                                # place — resync the mirrors.
+                                msv_n = len(msv_bits)
+                                msv_ones = msv._ones
+                    continue
+                # --- data record ---
+                # --- D-TLB (Tlb.access, inlined) ---
+                page = block >> PAGE_SHIFT
+                d_n += 1
+                if page == dtlb_last:
+                    pass
+                elif page in dtlb_map:
+                    dtlb_map.move_to_end(page)
+                    dtlb_last = page
+                else:
+                    dtlb_m += 1
+                    dtlb_map[page] = None
+                    dtlb_last = page
+                    if len(dtlb_map) > dtlb_entries:
+                        dtlb_map.popitem(last=False)
+                    tlb_cycles += dtlb_pen
+                if not fast_d:
+                    cycles += process_data(core, block, k == KS)
+                    continue
+                # (dbase is charged at the quantum flush: dbase * d_n.)
+                set_idx = block & l1d_set_mask
+                index = l1d_index[set_idx]
+                if block in index:
+                    # --- L1-D hit ---
+                    way = index[block]
+                    if l1d_is_lru:
+                        hi = l1d_hi[set_idx] + 1
+                        l1d_hi[set_idx] = hi
+                        l1d_ages[set_idx][way] = hi
+                    else:
+                        l1d_on_hit(set_idx, way)
+                    if k == KS:
+                        # Directory.on_write fast cases, inlined: first
+                        # write, or a write by the sole sharer.
+                        sharers = dir_sharers.get(block)
+                        if sharers is None:
+                            dir_sharers[block] = {core}
+                        elif len(sharers) == 1 and core in sharers:
+                            pass
+                        else:
+                            directory_on_write(core, block)
+                    continue
+                # --- L1-D miss ---
+                d_m += 1
+                if l1d_need_on_miss:
+                    l1d_on_miss(set_idx)
+                # --- SetAssociativeCache._fill, inlined ---
+                if len(index) < l1d_assoc:
+                    tags = l1d_tags[set_idx]
+                    way = tags.index(None)
+                else:
+                    if l1d_is_lru:
+                        ages = l1d_ages[set_idx]
+                        way = ages.index(min(ages))
+                    else:
+                        way = l1d_choose_victim(set_idx)
+                    tags = l1d_tags[set_idx]
+                    victim = tags[way]
+                    del index[victim]
+                    d_ev += 1
+                    if l1d_evict_is_dir:
+                        # Directory.on_evict, inlined.
+                        vs = dir_sharers.get(victim)
+                        if vs is not None:
+                            vs.discard(core)
+                            if not vs:
+                                del dir_sharers[victim]
+                    elif l1d_on_evict is not None:
+                        l1d_on_evict(victim)
+                tags[way] = block
+                index[block] = way
+                if l1d_is_lru:
+                    hi = l1d_hi[set_idx] + 1
+                    l1d_hi[set_idx] = hi
+                    l1d_ages[set_idx][way] = hi
+                else:
+                    l1d_on_fill(set_idx, way)
+                if block in l2_seen:
+                    in_l2 = True
+                else:
+                    l2_seen.add(block)
+                    in_l2 = False
+                if k == KS:
+                    d_stall_cycles += d_store_l2 if in_l2 else d_store_mem
+                    sharers = dir_sharers.get(block)
+                    if sharers is None:
+                        dir_sharers[block] = {core}
+                    elif len(sharers) == 1 and core in sharers:
+                        pass
+                    else:
+                        directory_on_write(core, block)
+                else:
+                    d_stall_cycles += d_load_l2 if in_l2 else d_load_mem
+                    # Directory.on_read, inlined.
+                    sharers = dir_sharers.get(block)
+                    if sharers is None:
+                        dir_sharers[block] = {core}
+                    else:
+                        sharers.add(core)
+
+            state.pos = pos
+            # Flush the batched counters. The fallback paths increment
+            # the same totals directly, so fast-path records were only
+            # ever counted in the locals (the L1 access counters belong
+            # to the fast path alone: with fast_i/fast_d set, every
+            # record of that kind took the inline route).
+            if fast_i:
+                self._bypass_tick = bypass_tick
+                if msv is not None:
+                    msv._ones = msv_ones
+                l1i_stats.accesses += i_n
+                l1i_stats.misses += i_m
+                l1i_stats.evictions += i_ev
+                inline_base = ibase * i_n
+                cycles += inline_base
+                self.cycles_base += inline_base
+            if fast_d:
+                l1d_stats.accesses += d_n
+                l1d_stats.misses += d_m
+                l1d_stats.evictions += d_ev
+                inline_base = dbase * d_n
+                cycles += inline_base
+                self.cycles_base += inline_base
+            itlb.accesses += i_n
+            itlb.misses += itlb_m
+            dtlb.accesses += d_n
+            dtlb.misses += dtlb_m
+            cycles += tlb_cycles + i_stall_cycles + d_stall_cycles
+            self.cycles_tlb += tlb_cycles
+            self.cycles_i_stall += i_stall_cycles
+            self.cycles_d_stall += d_stall_cycles
+            clocks[core] += cycles
             self.busy_cycles += cycles
 
             if migrated:
@@ -723,10 +1353,10 @@ class ReplayEngine:
                 else:
                     self._migrate(core, self._pending_target)
             elif state.pos >= n_records:
-                self._complete(core, self.clock[core])
+                self._complete(core, clocks[core])
 
-            if self.running[core] is not None or not self.queues.is_empty(core):
-                self._activate(core, self.clock[core])
+            if running[core] is not None or not queues_is_empty(core):
+                self._activate(core, clocks[core])
 
         if self.completed != len(self.threads):
             raise SimulationError(

@@ -11,12 +11,13 @@ all reported metrics (the L2 never thrashes in their runs either).
 
 from __future__ import annotations
 
+from functools import partial
 from typing import Optional
 
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.nuca import NucaL2
 from repro.coherence.mesi import Directory
-from repro.core.signature import BloomSignature
+from repro.core.signature import BloomSignature, SignatureSet
 from repro.interconnect.torus import Torus2D
 from repro.params import CacheParams, SliccParams, SystemParams
 from repro.sim.tlb import Tlb
@@ -58,19 +59,28 @@ class Machine:
 
         self.directory = Directory(self.l1d)
         for core in range(self.n_cores):
-            # Bind loop variable explicitly; the directory must know which
-            # core dropped the block.
-            self.l1d[core].on_evict = (
-                lambda block, c=core: self.directory.on_evict(c, block)
-            )
+            # partial() rather than a lambda: the directory must know
+            # which core dropped the block, and partial dispatches from C
+            # without an intermediate Python frame per eviction.
+            self.l1d[core].on_evict = partial(self.directory.on_evict, core)
 
         self.signatures: Optional[list[BloomSignature]] = None
+        self.signature_set: Optional[SignatureSet] = None
         if with_signatures:
             if slicc is None:
                 raise ValueError("signatures need SliccParams for bloom size")
+            # One transposed store shared by every core's filter: the
+            # remote segment search reads all cores in a single lookup.
+            self.signature_set = SignatureSet(slicc.bloom_bits)
+            self._sig_index_mask = slicc.bloom_bits - 1
             self.signatures = []
             for core in range(self.n_cores):
-                sig = BloomSignature(slicc.bloom_bits, self.l1i[core])
+                sig = BloomSignature(
+                    slicc.bloom_bits,
+                    self.l1i[core],
+                    shared=self.signature_set,
+                    core=core,
+                )
                 self.l1i[core].on_evict = sig.on_evict
                 self.signatures.append(sig)
 
@@ -92,19 +102,21 @@ class Machine:
         self._l2_seen.add(block)
         return False
 
-    def presence_mask(self, block: int, exclude: int, cores: list[int]) -> int:
-        """Which of ``cores`` (bloom-)report caching ``block``.
+    def presence_mask(self, block: int, exclude: int, cores_mask: int) -> int:
+        """Which cores of ``cores_mask`` (bloom-)report caching ``block``.
 
         This is the remote cache segment search of Section 4.2.3: the
         answer comes from the approximate signatures, not the caches, so
-        false positives are possible exactly as in hardware.
+        false positives are possible exactly as in hardware. Thanks to
+        the transposed :class:`SignatureSet` the whole-chip search is one
+        list lookup fused with the core restriction — not a probe loop.
         """
-        assert self.signatures is not None, "machine built without signatures"
-        mask = 0
-        for core in cores:
-            if core != exclude and self.signatures[core].probe(block):
-                mask |= 1 << core
-        return mask
+        assert self.signature_set is not None, "machine built without signatures"
+        return (
+            self.signature_set.masks[block & self._sig_index_mask]
+            & cores_mask
+            & ~(1 << exclude)
+        )
 
     def signature_insert(self, core: int, block: int) -> None:
         """Mirror a fill into the core's signature (if signatures exist)."""

@@ -13,7 +13,14 @@ PAGE_SHIFT = 6
 
 
 class Tlb:
-    """Fully-associative LRU TLB with ``entries`` slots."""
+    """Fully-associative LRU TLB with ``entries`` slots.
+
+    ``__slots__`` keeps the per-access attribute traffic cheap — the
+    replay engine's inlined fast path also reaches straight into
+    :attr:`_map` for the hit case, so the OrderedDict is the whole model.
+    """
+
+    __slots__ = ("entries", "_map", "accesses", "misses")
 
     def __init__(self, entries: int) -> None:
         if entries <= 0:

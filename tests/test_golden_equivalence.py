@@ -1,0 +1,57 @@
+"""Golden-equivalence guard for the optimized replay hot path.
+
+The fixtures in ``tests/golden/`` are the canonical-JSON
+``SimulationResult`` of every engine variant on two smoke workloads,
+recorded with ``scripts/dump_golden.py`` on the *pre-optimization* (PR 1)
+engine. Pinning today's engine byte-identical to them proves the hot-path
+rewrite — allocation-free cache accesses, the age-counter LRU backend,
+the transposed bloom presence probe, and the inlined L1/TLB hit fast
+path — changes no simulated number anywhere, extending the jobs=1-vs-4
+determinism guard across implementations rather than job counts.
+
+If a future PR intentionally changes simulated numbers, regenerate the
+fixtures with ``python scripts/dump_golden.py`` and say so in the PR.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.exp.store import result_to_json
+from repro.params import ScalePreset
+from repro.sim.engine import VARIANTS, simulate
+from repro.workloads import standard_trace
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Must match scripts/dump_golden.py.
+GOLDEN_WORKLOADS = ("tpcc-1", "tpce")
+GOLDEN_SEED = 7
+
+
+@pytest.fixture(scope="module")
+def golden_traces():
+    return {
+        workload: standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
+        for workload in GOLDEN_WORKLOADS
+    }
+
+
+def test_every_variant_has_a_fixture():
+    expected = {
+        f"{workload}__{variant}.json"
+        for workload in GOLDEN_WORKLOADS
+        for variant in VARIANTS
+    }
+    present = {p.name for p in GOLDEN_DIR.glob("*.json")}
+    assert expected <= present, f"missing fixtures: {expected - present}"
+
+
+@pytest.mark.parametrize("variant", VARIANTS)
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_byte_identical_to_seed_engine(golden_traces, workload, variant):
+    golden = (GOLDEN_DIR / f"{workload}__{variant}.json").read_text().strip()
+    result = simulate(golden_traces[workload], variant=variant)
+    assert result_to_json(result) == golden

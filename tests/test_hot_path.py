@@ -1,0 +1,162 @@
+"""Unit tests for the PR 2 hot-path mechanisms.
+
+The golden-equivalence suite proves the full engine is unchanged
+end-to-end; these tests pin the individual mechanisms — the
+allocation-free cache access, the age-counter LRU backend, and the
+transposed bloom store — against small hand-checkable scenarios and
+reference implementations.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+from repro.cache.policies.base import make_policy
+from repro.core.signature import BloomSignature, SignatureSet
+from repro.params import CacheParams, SliccParams, SystemParams
+from repro.sim.machine import Machine
+
+
+@pytest.fixture
+def tiny_params():
+    return CacheParams(size_bytes=4 * 1024, assoc=4, policy="lru")
+
+
+class TestAccessFast:
+    def test_hit_and_miss_returns(self, tiny_params):
+        cache = SetAssociativeCache(tiny_params)
+        assert cache.access_fast(5) is False
+        assert cache.access_fast(5) is True
+
+    def test_last_victim_matches_access_wrapper(self, tiny_params):
+        fast = SetAssociativeCache(tiny_params)
+        slow = SetAssociativeCache(tiny_params)
+        n_sets = tiny_params.n_sets
+        # Fill one set past capacity so evictions happen.
+        blocks = [i * n_sets for i in range(6)]
+        for block in blocks:
+            hit_fast = fast.access_fast(block)
+            result = slow.access(block)
+            assert hit_fast == result.hit
+            if not result.hit:
+                assert fast.last_victim == result.victim
+
+    def test_bypass_sets_no_victim(self, tiny_params):
+        cache = SetAssociativeCache(tiny_params)
+        n_sets = tiny_params.n_sets
+        for i in range(4):
+            cache.access_fast(i * n_sets)
+        assert cache.access_fast(4 * n_sets, fill=False) is False
+        assert cache.last_victim is None
+        # The set was not disturbed.
+        assert all(cache.probe(i * n_sets) for i in range(4))
+
+
+class _ListLru:
+    """Reference list-based LRU family (the pre-PR implementation)."""
+
+    def __init__(self, n_sets, assoc, insert_at):
+        self._order = [[] for _ in range(n_sets)]
+        self._insert_at = insert_at  # "mru" or "lru"
+        self._fills = 0
+
+    def on_hit(self, s, w):
+        self._order[s].remove(w)
+        self._order[s].append(w)
+
+    def on_fill(self, s, w):
+        order = self._order[s]
+        if w in order:
+            order.remove(w)
+        if self._insert_at == "mru":
+            order.append(w)
+        else:
+            order.insert(0, w)
+
+    def choose_victim(self, s):
+        return self._order[s][0]
+
+
+@pytest.mark.parametrize("policy_name,insert_at", [("lru", "mru"), ("lip", "lru")])
+def test_age_counters_match_list_reference(policy_name, insert_at):
+    """Random hit/fill/victim interleavings agree with the list form."""
+    n_sets, assoc = 4, 4
+    rng = random.Random(13)
+    aged = make_policy(policy_name, n_sets, assoc)
+    ref = _ListLru(n_sets, assoc, insert_at)
+    resident: dict[int, set[int]] = {s: set() for s in range(n_sets)}
+    for _ in range(2000):
+        s = rng.randrange(n_sets)
+        if len(resident[s]) < assoc:
+            w = min(set(range(assoc)) - resident[s])
+            resident[s].add(w)
+            aged.on_fill(s, w)
+            ref.on_fill(s, w)
+        elif rng.random() < 0.5:
+            w = rng.choice(sorted(resident[s]))
+            aged.on_hit(s, w)
+            ref.on_hit(s, w)
+        else:
+            assert aged.choose_victim(s) == ref.choose_victim(s)
+            w = ref.choose_victim(s)
+            # Refill the victim way, as the cache would.
+            aged.on_fill(s, w)
+            ref.on_fill(s, w)
+
+
+def test_recency_order_reports_lru_first():
+    policy = make_policy("lru", 1, 4)
+    for way in (2, 0, 3, 1):
+        policy.on_fill(0, way)
+    policy.on_hit(0, 2)
+    assert policy.recency_order(0) == [0, 3, 1, 2]
+    assert policy.choose_victim(0) == 0
+
+
+class TestTransposedSignatures:
+    def test_shared_store_keeps_per_core_bits_separate(self, tiny_params):
+        shared = SignatureSet(64)
+        c0 = SetAssociativeCache(tiny_params)
+        c1 = SetAssociativeCache(tiny_params)
+        s0 = BloomSignature(64, c0, shared=shared, core=0)
+        s1 = BloomSignature(64, c1, shared=shared, core=1)
+        s0.insert(5)
+        assert s0.probe(5) and not s1.probe(5)
+        s1.insert(5)
+        assert shared.masks[5] == 0b11
+        s0.on_evict(5)  # block 5 not resident in c0 -> bit clears
+        assert not s0.probe(5) and s1.probe(5)
+
+    def test_standalone_signature_still_works(self, tiny_params):
+        cache = SetAssociativeCache(tiny_params)
+        sig = BloomSignature(64, cache)
+        sig.insert(7)
+        assert sig.probe(7)
+        assert sig.popcount() == 1
+        sig.rebuild()
+        assert sig.popcount() == 0
+
+    def test_presence_mask_matches_per_core_probes(self):
+        system = SystemParams()
+        machine = Machine(system, slicc=SliccParams(), with_signatures=True)
+        block = 42
+        for core in (1, 3, 6):
+            machine.signature_insert(core, block)
+        cores = list(range(system.n_cores))
+        cores_mask = sum(1 << c for c in cores)
+        expected = 0
+        for core in cores:
+            if core != 1 and machine.signatures[core].probe(block):
+                expected |= 1 << core
+        assert machine.presence_mask(block, 1, cores_mask) == expected
+        assert machine.presence_mask(block, 1, cores_mask) == (1 << 3) | (1 << 6)
+
+    def test_mismatched_shared_bits_rejected(self, tiny_params):
+        from repro.errors import ConfigurationError
+
+        cache = SetAssociativeCache(tiny_params)
+        with pytest.raises(ConfigurationError):
+            BloomSignature(128, cache, shared=SignatureSet(64))
