@@ -20,13 +20,44 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.exp.store import result_to_json  # noqa: E402
 from repro.params import ScalePreset  # noqa: E402
-from repro.sim.engine import VARIANTS, simulate  # noqa: E402
+from repro.sim.engine import VARIANTS, SimConfig, simulate  # noqa: E402
 from repro.workloads import standard_trace  # noqa: E402
 
 #: The golden grid: every variant on two structurally different smoke
 #: workloads (OLTP with teams-relevant type mix, and TPC-E).
 GOLDEN_WORKLOADS = ("tpcc-1", "tpce")
 GOLDEN_SEED = 7
+
+#: Config pins beyond the plain variants: every fallback trigger of the
+#: pre-PR-3 engine (next-line prefetcher, miss classifiers, banked NUCA,
+#: migration data prefetcher) alone and in combination, so the PR 3
+#: inline fast paths are provably bit-identical to the generic
+#: ``_process_instruction``/``_process_data`` reference they replace.
+#: Captured from the PR-2 engine *before* that rewrite.
+GOLDEN_CONFIGS: tuple[tuple[str, dict], ...] = (
+    ("classify", {"variant": "base", "collect_miss_classes": True}),
+    ("slicc-classify", {"variant": "slicc", "collect_miss_classes": True}),
+    ("nuca", {"variant": "base", "model_l2_capacity": True}),
+    ("nextline-nuca", {"variant": "nextline", "model_l2_capacity": True}),
+    ("slicc-dp8", {"variant": "slicc", "data_prefetch_n": 8}),
+    (
+        "slicc-nuca-dp4-classify",
+        {
+            "variant": "slicc",
+            "model_l2_capacity": True,
+            "data_prefetch_n": 4,
+            "collect_miss_classes": True,
+        },
+    ),
+    (
+        "steps-nuca-classify",
+        {
+            "variant": "steps",
+            "model_l2_capacity": True,
+            "collect_miss_classes": True,
+        },
+    ),
+)
 
 
 def golden_dir() -> Path:
@@ -41,6 +72,11 @@ def main() -> int:
         for variant in VARIANTS:
             result = simulate(trace, variant=variant)
             path = out / f"{workload}__{variant}.json"
+            path.write_text(result_to_json(result) + "\n")
+            print(f"wrote {path.name}")
+        for name, kwargs in GOLDEN_CONFIGS:
+            result = simulate(trace, config=SimConfig(**kwargs))
+            path = out / f"{workload}__cfg-{name}.json"
             path.write_text(result_to_json(result) + "\n")
             print(f"wrote {path.name}")
     return 0

@@ -11,7 +11,14 @@ time. Two modes:
   JSON and exits non-zero when any variant's throughput regressed by
   more than ``--max-regression`` (the CI perf-smoke gate).
 
-The trace is generated once and reused across variants and repeats, so
+One workload is timed by default (``--workload``); ``--workloads a,b,c``
+times several and emits a multi-workload document (top-level
+``"workloads"`` mapping, one single-workload document per name), so the
+perf trajectory can span scenario diversity in one file. ``--check``
+accepts either shape on either side — a workload present in only one of
+the two documents is skipped.
+
+Each trace is generated once and reused across variants and repeats, so
 the numbers isolate engine throughput from trace generation. Each
 variant is timed ``--repeat`` times and the best run is kept (minimum
 wall time is the standard low-noise estimator for CPU-bound loops).
@@ -71,36 +78,72 @@ def bench(
     return doc
 
 
+def _per_workload(doc: dict) -> dict[str, dict]:
+    """Normalise a bench document to ``{workload: single-workload doc}``.
+
+    Accepts both the single-workload shape (``"variants"`` at top level)
+    and the multi-workload shape (``"workloads"`` mapping).
+    """
+    if "workloads" in doc:
+        return doc["workloads"]
+    return {doc.get("workload", "?"): doc}
+
+
 def check(doc: dict, baseline_path: Path, max_regression: float) -> int:
     """Compare ``doc`` against a baseline file; returns the exit code."""
     baseline = json.loads(baseline_path.read_text())
+    base_docs = _per_workload(baseline)
     failures = []
-    for variant, row in doc["variants"].items():
-        base_row = baseline.get("variants", {}).get(variant)
-        if base_row is None:
+    compared = 0
+    for workload, wdoc in _per_workload(doc).items():
+        base_doc = base_docs.get(workload)
+        if base_doc is None:
             continue
-        floor = base_row["records_per_sec"] * (1.0 - max_regression)
-        status = "ok" if row["records_per_sec"] >= floor else "REGRESSED"
-        print(
-            f"check {variant:>9}: {row['records_per_sec']:>9} rec/s vs "
-            f"baseline {base_row['records_per_sec']:>9} "
-            f"(floor {floor:>11.0f}) {status}"
-        )
-        if status != "ok":
-            failures.append(variant)
+        for variant, row in wdoc["variants"].items():
+            base_row = base_doc.get("variants", {}).get(variant)
+            if base_row is None:
+                continue
+            compared += 1
+            floor = base_row["records_per_sec"] * (1.0 - max_regression)
+            status = "ok" if row["records_per_sec"] >= floor else "REGRESSED"
+            print(
+                f"check {workload}/{variant:>9}: "
+                f"{row['records_per_sec']:>9} rec/s vs "
+                f"baseline {base_row['records_per_sec']:>9} "
+                f"(floor {floor:>11.0f}) {status}"
+            )
+            if status != "ok":
+                failures.append(f"{workload}/{variant}")
     if failures:
         print(
             f"FAIL: {', '.join(failures)} regressed by more than "
             f"{max_regression:.0%} vs {baseline_path}"
         )
         return 1
-    print("perf check passed")
+    if compared == 0:
+        # A gate that compared nothing passed nothing: workload/variant
+        # keys of the run and the baseline are disjoint (renamed
+        # workload, wrong baseline file, ...). Fail loudly rather than
+        # silently disabling the regression check.
+        print(
+            f"FAIL: no variant of this run matched {baseline_path}; "
+            "the regression gate compared nothing"
+        )
+        return 1
+    print(f"perf check passed ({compared} variants compared)")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--workload", default="tpcc-10")
+    parser.add_argument(
+        "--workloads",
+        default=None,
+        metavar="A,B,C",
+        help="comma-separated workload list; emits a multi-workload "
+        "document and overrides --workload",
+    )
     parser.add_argument(
         "--scale", default="ci", choices=[p.value for p in ScalePreset]
     )
@@ -124,13 +167,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    doc = bench(
-        args.workload,
-        ScalePreset(args.scale),
-        args.variants,
-        args.repeat,
-        args.seed,
-    )
+    if args.workloads:
+        workloads = [w.strip() for w in args.workloads.split(",") if w.strip()]
+        doc = {
+            "scale": args.scale,
+            "seed": args.seed,
+            "repeat": args.repeat,
+            "python": platform.python_version(),
+            "workloads": {
+                workload: bench(
+                    workload,
+                    ScalePreset(args.scale),
+                    args.variants,
+                    args.repeat,
+                    args.seed,
+                )
+                for workload in workloads
+            },
+        }
+    else:
+        doc = bench(
+            args.workload,
+            ScalePreset(args.scale),
+            args.variants,
+            args.repeat,
+            args.seed,
+        )
     if args.out:
         args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"wrote {args.out}")

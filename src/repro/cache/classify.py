@@ -34,7 +34,15 @@ class MissClassifier:
     Usage: call :meth:`observe` for every access with the real cache's
     hit/miss outcome; it returns the miss class (or ``None`` on a hit) and
     keeps its own counters.
+
+    The hot state is the ``_shadow`` OrderedDict (fully-associative LRU)
+    and the ``_seen`` set; the replay engine's inline fast path updates
+    both directly and batches ``accesses``/``counts`` per quantum, with
+    :meth:`observe` kept as the reference implementation for the
+    engine's generic fallback path and for unit tests.
     """
+
+    __slots__ = ("capacity_blocks", "_seen", "_shadow", "counts", "accesses")
 
     def __init__(self, capacity_blocks: int) -> None:
         if capacity_blocks <= 0:

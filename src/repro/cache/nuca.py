@@ -14,6 +14,7 @@ interleaved organisation that spreads consecutive lines across banks.
 from __future__ import annotations
 
 from repro.cache.cache import SetAssociativeCache
+from repro.cache.policies.lru import LruPolicy
 from repro.cache.stats import CacheStats
 from repro.errors import ConfigurationError
 from repro.interconnect.torus import Torus2D
@@ -74,6 +75,50 @@ class NucaL2:
     def probe(self, block: int) -> bool:
         """Residency test without state change."""
         return self._banks[self.bank_of(block)].probe(block // self.n_banks)
+
+    # ------------------------------------------------------------------
+    # Flat hot interface (the replay engine's inline fast path)
+    # ------------------------------------------------------------------
+
+    def hot_banks(self) -> list[tuple]:
+        """Per-bank flat state tuples for the engine's inline L2 lookup.
+
+        One ``(index, tags, ages, hi, set_mask, assoc)`` tuple per bank:
+        the bank cache's set index dicts, tag lists, LRU age lists and
+        high-water list, plus geometry constants. Banks are always LRU
+        (enforced here), so the engine can inline the age-counter update
+        without a policy dispatch; bank access/miss/eviction statistics
+        are batched by the engine and flushed into each bank's
+        :class:`~repro.cache.stats.CacheStats` when the run ends.
+        """
+        banks = []
+        for bank in self._banks:
+            policy = bank.policy
+            if type(policy) is not LruPolicy:  # pragma: no cover - guard
+                raise ConfigurationError(
+                    f"NUCA bank {bank.name} uses {type(policy).__name__}; "
+                    "the inline fast path assumes plain LRU banks"
+                )
+            banks.append(
+                (
+                    bank._index,
+                    bank._tags,
+                    policy._age,
+                    policy._hi,
+                    bank._set_mask,
+                    bank.assoc,
+                )
+            )
+        return banks
+
+    def latency_table(self, core: int) -> list[int]:
+        """Per-bank access latency seen from ``core`` (hit latency plus
+        the torus round trip) — precomputed for the engine's fast path.
+        """
+        return [
+            self.hit_latency + 2 * self.torus.latency(core, bank)
+            for bank in range(self.n_banks)
+        ]
 
     def stats(self) -> CacheStats:
         """Aggregate stats across banks."""

@@ -81,9 +81,28 @@ def _trace_from(args: argparse.Namespace):
     )
 
 
-def _print_stats(runner: Runner) -> None:
+def _print_stats(runner: Runner, specs=None) -> None:
     stats = runner.last_stats
-    if stats.cached:
+    if stats.simulated:
+        line = (
+            f"[{stats.simulated} simulated, {stats.cached} cached | "
+            f"wall {stats.wall_seconds:.2f}s, "
+            f"sim {stats.sim_seconds:.2f}s]"
+        )
+        print(line)
+        if specs and stats.spec_seconds:
+            # Name the slowest simulated specs (the ones that bound the
+            # sweep's wall time) so scaling wins/losses are visible.
+            label_by_key = {spec.key(): spec.display_label() for spec in specs}
+            slowest = sorted(
+                stats.spec_seconds.items(), key=lambda kv: -kv[1]
+            )[:3]
+            shown = ", ".join(
+                f"{label_by_key.get(key, key[:8])} {seconds:.2f}s"
+                for key, seconds in slowest
+            )
+            print(f"[slowest: {shown}]")
+    elif stats.cached:
         print(f"[{stats.simulated} simulated, {stats.cached} cached]")
 
 
@@ -154,7 +173,8 @@ def _cmd_exp(args: argparse.Namespace) -> int:
         baseline = None
     title = f"{args.specfile} — {len(specs)} points"
     print(summarize(list(zip(specs, results)), baseline=baseline, title=title))
-    _print_stats(runner)
+    all_specs = specs if baseline_spec is None else [baseline_spec] + specs
+    _print_stats(runner, specs=all_specs)
     return 0
 
 

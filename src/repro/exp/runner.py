@@ -11,7 +11,10 @@ Each worker process builds every distinct trace at most once: declarative
 specs regenerate it from ``(workload, scale, n_threads, seed)`` via the
 deterministic generators, while explicit traces (specs built with
 :func:`~repro.exp.spec.spec_for`) are shipped to the workers once at pool
-start. Simulation itself is deterministic given the trace and config, so
+start. On Linux the pool forks, so the parent materialises every trace's
+replay tables first and workers inherit them zero-copy; task dispatch
+uses an adaptive chunksize instead of one round-trip per spec.
+Simulation itself is deterministic given the trace and config, so
 results are identical whatever the job count — the test suite pins that
 with a byte-identical-JSON guard.
 """
@@ -20,7 +23,8 @@ from __future__ import annotations
 
 import multiprocessing
 import sys
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
 from repro.errors import ConfigurationError
@@ -73,14 +77,17 @@ def _trace_for(spec: ExperimentSpec) -> Trace:
     return trace
 
 
-def _run_spec(spec: ExperimentSpec) -> tuple[str, dict]:
-    """Worker entry point: simulate one spec, return (key, result dict).
+def _run_spec(spec: ExperimentSpec) -> tuple[str, dict, float]:
+    """Worker entry point: simulate one spec, return
+    ``(key, result dict, seconds)``.
 
     Results cross the process boundary as plain dicts so fresh and
-    store-loaded rows take the identical deserialisation path.
+    store-loaded rows take the identical deserialisation path; the
+    per-spec wall time feeds :class:`RunnerStats` timing.
     """
+    t0 = time.perf_counter()
     result = simulate(_trace_for(spec), config=spec.config)
-    return spec.key(), result_to_dict(result)
+    return spec.key(), result_to_dict(result), time.perf_counter() - t0
 
 
 @dataclass
@@ -89,14 +96,25 @@ class RunnerStats:
 
     ``cached`` counts input specs answered without simulating (store hits
     plus intra-call duplicates); ``simulated`` counts actual engine runs.
+    ``wall_seconds`` is the end-to-end duration of the ``run()`` call,
+    ``sim_seconds`` the summed per-spec simulation time (under parallel
+    workers ``sim_seconds`` exceeds ``wall_seconds``; their ratio is the
+    effective sweep speed-up), and ``spec_seconds`` maps each simulated
+    spec's key to its individual simulation time.
     """
 
     simulated: int = 0
     cached: int = 0
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    spec_seconds: dict[str, float] = field(default_factory=dict)
 
     def add(self, other: "RunnerStats") -> None:
         self.simulated += other.simulated
         self.cached += other.cached
+        self.wall_seconds += other.wall_seconds
+        self.sim_seconds += other.sim_seconds
+        self.spec_seconds.update(other.spec_seconds)
 
 
 class Runner:
@@ -129,6 +147,7 @@ class Runner:
         traces referenced by any spec's ``trace_id`` must be passed via
         ``trace`` (one) or ``traces`` (several).
         """
+        t_start = time.perf_counter()
         specs = list(specs)
         explicit: dict[str, Trace] = {}
         for t in ([trace] if trace is not None else []) + list(traces or []):
@@ -166,21 +185,27 @@ class Runner:
 
         # Results persist as they arrive (not after the whole batch), so
         # an interrupted campaign keeps every simulation it finished.
-        for key, payload in self._execute(list(pending.values()), explicit):
+        for key, payload, seconds in self._execute(
+            list(pending.values()), explicit
+        ):
             result = result_from_dict(payload)
             served[key] = result
             self.store.put(key, result, spec=pending[key])
             stats.simulated += 1
+            stats.sim_seconds += seconds
+            stats.spec_seconds[key] = seconds
 
+        stats.wall_seconds = time.perf_counter() - t_start
         self.last_stats = stats
         self.stats.add(stats)
         return [served[key] for key in keys]
 
     def _execute(
         self, pending: list[ExperimentSpec], explicit: dict[str, Trace]
-    ) -> Iterator[tuple[str, dict]]:
-        """Yield (key, result dict) as simulations complete, in arbitrary
-        order — the caller realigns by key and persists incrementally."""
+    ) -> Iterator[tuple[str, dict, float]]:
+        """Yield (key, result dict, seconds) as simulations complete, in
+        arbitrary order — the caller realigns by key and persists
+        incrementally."""
         if not pending:
             return
         if self.jobs == 1 or len(pending) == 1:
@@ -196,12 +221,43 @@ class Runner:
         # Prefer fork on Linux: workers inherit explicit traces for free
         # instead of re-pickling them. Elsewhere (macOS/Windows) fork is
         # unsafe or absent, so keep the platform's default start method.
-        if sys.platform == "linux":
+        use_fork = sys.platform == "linux"
+        if use_fork:
             ctx = multiprocessing.get_context("fork")
+            # Zero-copy trace sharing: materialise each trace's replay
+            # tables (numpy -> plain-list conversion, page ids) once in
+            # the parent, *before* forking, so every worker inherits the
+            # ready-to-replay tables through the forked address space
+            # instead of rebuilding them per process. The engine treats
+            # the tables as read-only, so sharing is safe. Under spawn
+            # the tables are deliberately not materialised (they are
+            # excluded from pickling; shipping list renderings of the
+            # arrays would only bloat the transfer).
+            from repro.sim.tlb import PAGE_SHIFT
+
+            for trace in explicit.values():
+                for thread in trace.threads:
+                    thread.replay_tables(PAGE_SHIFT)
         else:
             ctx = multiprocessing.get_context()
         n_workers = min(self.jobs, len(pending))
+        # Adaptive chunking: one task per dispatch (chunksize=1) pays
+        # queue and pickling overhead per spec, which dominates sweeps
+        # of short simulations. Aim for ~4 chunks per worker — enough
+        # slack for uneven spec durations, far fewer dispatches. With a
+        # *persistent* store, stay at chunksize=1: results only reach
+        # the parent (and the JSONL file) per completed chunk, and the
+        # incremental-persistence guarantee — an interrupted campaign
+        # keeps every simulation it finished — outranks dispatch
+        # overhead there. In-memory stores lose everything on interrupt
+        # anyway, so they take the chunking win.
+        if self.store.path is not None:
+            chunksize = 1
+        else:
+            chunksize = max(1, len(pending) // (n_workers * 4))
         with ctx.Pool(
             n_workers, initializer=_init_worker, initargs=(explicit,)
         ) as pool:
-            yield from pool.imap_unordered(_run_spec, pending, chunksize=1)
+            yield from pool.imap_unordered(
+                _run_spec, pending, chunksize=chunksize
+            )

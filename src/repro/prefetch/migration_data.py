@@ -25,7 +25,18 @@ from repro.errors import ConfigurationError
 
 
 class MigrationDataPrefetcher:
-    """Per-thread last-*n* data-block history with migration drain."""
+    """Per-thread last-*n* data-block history with migration drain.
+
+    The hot state is ``_history`` (thread id -> bounded deque of recent
+    data blocks) and ``_pending`` (thread id -> set of prefetched tags
+    not yet demanded). The replay engine's inline fast path resolves
+    both once per quantum (the running thread is fixed within one) and
+    drives them directly, batching ``useful``; :meth:`record_access` and
+    :meth:`note_demand` remain the reference implementation used by the
+    engine's generic fallback path and by unit tests.
+    """
+
+    __slots__ = ("n_blocks", "_history", "issued", "useful", "_pending")
 
     def __init__(self, n_blocks: int = 16) -> None:
         if n_blocks <= 0:

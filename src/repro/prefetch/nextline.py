@@ -15,7 +15,17 @@ from repro.cache.cache import SetAssociativeCache
 
 
 class NextLinePrefetcher:
-    """Per-core next-line prefetcher state."""
+    """Per-core next-line prefetcher state.
+
+    The whole hot state is the ``_pending`` set; the replay engine's
+    inline fast path drives it directly (membership test on hits,
+    discard on evictions, add on issued prefetches) and batches the
+    ``issued``/``useful`` counters per quantum. The methods below are
+    the reference implementation used by the engine's generic fallback
+    path and by unit tests; the golden suite pins both bit-identical.
+    """
+
+    __slots__ = ("_cache", "_pending", "issued", "useful")
 
     def __init__(self, cache: SetAssociativeCache) -> None:
         self._cache = cache

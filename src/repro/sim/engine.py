@@ -28,6 +28,7 @@ transfer cost (Section 4.4) when it next starts running.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
 
@@ -74,6 +75,12 @@ DATA_PREFETCH_CYCLES_PER_BLOCK = 2
 #: One in this many bypassed misses installs anyway (gap self-repair; see
 #: the segment-protection comment in ``_process_instruction``).
 BYPASS_REPAIR_RATE = 8
+
+#: MissClass members resolved once (the inline classifier path batches
+#: per-class counts in locals and flushes through these keys).
+_MC_COMPULSORY = MissClass.COMPULSORY
+_MC_CAPACITY = MissClass.CAPACITY
+_MC_CONFLICT = MissClass.CONFLICT
 
 
 @dataclass(frozen=True)
@@ -127,13 +134,16 @@ class SimConfig:
 class _ThreadState:
     """Mutable replay position of one thread.
 
-    ``addr``/``kind`` are plain-list copies of the trace arrays,
-    materialised once at admission: indexing a Python list yields cached
-    small ints where indexing a numpy array allocates a numpy scalar that
-    must then be unboxed — a large per-record cost in the replay loop.
+    ``addr``/``kind``/``page`` are plain-list renderings of the trace
+    arrays (page ids precomputed), bound at admission from the cache on
+    the thread trace (:meth:`ThreadTrace.replay_tables`): indexing a
+    Python list yields cached small ints where indexing a numpy array
+    allocates a numpy scalar that must then be unboxed — a large
+    per-record cost in the replay loop — and the tables are shared
+    read-only across every simulation of the same trace.
     """
 
-    __slots__ = ("trace", "pos", "pending_cycles", "done", "addr", "kind")
+    __slots__ = ("trace", "pos", "pending_cycles", "done", "addr", "kind", "page")
 
     def __init__(self, trace) -> None:
         self.trace = trace
@@ -142,6 +152,7 @@ class _ThreadState:
         self.done = False
         self.addr: Optional[list[int]] = None
         self.kind: Optional[list[int]] = None
+        self.page: Optional[list[int]] = None
 
 
 class _CoreHot(NamedTuple):
@@ -202,6 +213,17 @@ class _CoreHot(NamedTuple):
     msv_dilution: int
     mtq_entries: object
     mtq_matched: int
+    pf: Optional[NextLinePrefetcher]
+    pf_pending: Optional[set]
+    i_cls: Optional[MissClassifier]
+    icls_shadow: object
+    icls_seen: Optional[set]
+    icls_cap: int
+    d_cls: Optional[MissClassifier]
+    dcls_shadow: object
+    dcls_seen: Optional[set]
+    dcls_cap: int
+    nuca_ipen: Optional[list]
 
 
 class ReplayEngine:
@@ -317,22 +339,38 @@ class ReplayEngine:
                 MissClassifier(system.l1d.n_blocks) for _ in range(n)
             ]
 
-        # Fast-path eligibility for the inlined record handling in run():
-        # any consumer that must observe individual accesses beyond the
-        # caches themselves (miss classifiers, the next-line prefetcher's
-        # consume check, the migration data prefetcher, the banked NUCA
-        # L2) forces the corresponding record kind through the generic
-        # _process_instruction/_process_data path.
-        self._fast_i = (
-            self.prefetchers is None
-            and self.i_classifiers is None
-            and self.machine.nuca is None
-        )
-        self._fast_d = (
-            self.data_prefetcher is None
-            and self.d_classifiers is None
-            and self.machine.nuca is None
-        )
+        # Banked-NUCA flat state (PR 3): per-bank hot tuples shared by
+        # all cores, a per-core instruction-miss penalty table (bank
+        # latency plus the front-end refill), and batched bank
+        # statistics run() flushes once when the loop ends.
+        self._nuca_hot: Optional[list[tuple]] = None
+        self._nuca_i_pen: Optional[list[list[int]]] = None
+        self._nuca_acc: Optional[list[int]] = None
+        self._nuca_miss: Optional[list[int]] = None
+        self._nuca_ev: Optional[list[int]] = None
+        if self.machine.nuca is not None:
+            nuca = self.machine.nuca
+            refill = system.frontend_refill_cycles
+            self._nuca_hot = nuca.hot_banks()
+            self._nuca_i_pen = [
+                [lat + refill for lat in nuca.latency_table(core)]
+                for core in range(n)
+            ]
+            self._nuca_acc = [0] * nuca.n_banks
+            self._nuca_miss = [0] * nuca.n_banks
+            self._nuca_ev = [0] * nuca.n_banks
+
+        # Fast-path coverage: since PR 3 every configuration takes the
+        # inlined record handling in run() — the next-line prefetcher,
+        # the miss classifiers, the migration data prefetcher and the
+        # banked NUCA L2 all expose flat hot state the loop drives
+        # directly with plain ints and batched counter flushes. The
+        # generic _process_instruction/_process_data methods are kept as
+        # the reference implementation: the golden suite pins both, and
+        # tests force these flags off to replay a config through the
+        # reference path and compare byte-for-byte.
+        self._fast_i = True
+        self._fast_d = True
 
         # Thread / core state.
         self.threads = [_ThreadState(t) for t in trace.threads]
@@ -433,6 +471,13 @@ class ReplayEngine:
         else:
             mtq_entries = None
             mtq_matched = 0
+        pf = self.prefetchers[core] if self.prefetchers is not None else None
+        i_cls = (
+            self.i_classifiers[core] if self.i_classifiers is not None else None
+        )
+        d_cls = (
+            self.d_classifiers[core] if self.d_classifiers is not None else None
+        )
         return _CoreHot(
             l1i_index=l1i._index,
             l1i_tags=l1i._tags,
@@ -494,6 +539,19 @@ class ReplayEngine:
             msv_dilution=msv_dilution,
             mtq_entries=mtq_entries,
             mtq_matched=mtq_matched,
+            pf=pf,
+            pf_pending=pf._pending if pf is not None else None,
+            i_cls=i_cls,
+            icls_shadow=i_cls._shadow if i_cls is not None else None,
+            icls_seen=i_cls._seen if i_cls is not None else None,
+            icls_cap=i_cls.capacity_blocks if i_cls is not None else 0,
+            d_cls=d_cls,
+            dcls_shadow=d_cls._shadow if d_cls is not None else None,
+            dcls_seen=d_cls._seen if d_cls is not None else None,
+            dcls_cap=d_cls.capacity_blocks if d_cls is not None else 0,
+            nuca_ipen=(
+                self._nuca_i_pen[core] if self._nuca_i_pen is not None else None
+            ),
         )
 
     # ------------------------------------------------------------------
@@ -630,9 +688,10 @@ class ReplayEngine:
             self._resident += 1
             state = self.threads[thread_id]
             if state.addr is None:
-                # One-time numpy -> list conversion (see _ThreadState).
-                state.addr = state.trace.addr.tolist()
-                state.kind = state.trace.kind.tolist()
+                # Bind the shared numpy -> list tables (see _ThreadState).
+                state.addr, state.kind, state.page = (
+                    state.trace.replay_tables(PAGE_SHIFT)
+                )
             if isinstance(self.type_source, PreambleTypeDetector):
                 # Scout-core preprocessing: a few tens of instructions on
                 # the dedicated core before the thread starts working.
@@ -896,6 +955,16 @@ class ReplayEngine:
         d_load_mem = timing.d_load_mem
         d_store_l2 = timing.d_store_l2
         d_store_mem = timing.d_store_mem
+        #: Late-prefetch residual: the fallback always charges the L2
+        #: flavour (prefetches are only consumed after their trigger miss
+        #: brought the line on chip), so this is one constant.
+        pf_late = timing.prefetch_late(True)
+        dp = self.data_prefetcher
+        nuca_hot = self._nuca_hot
+        nuca_acc = self._nuca_acc
+        nuca_miss_ct = self._nuca_miss
+        nuca_ev = self._nuca_ev
+        n_banks = machine.nuca.n_banks if machine.nuca is not None else 0
         core_hot = self._core_hot
         KI = KIND_INSTR
         KS = KIND_STORE
@@ -960,6 +1029,7 @@ class ReplayEngine:
             state = threads[thread_id]
             addr = state.addr
             kind = state.kind
+            pages = state.page
             n_records = len(addr)
             pos = state.pos
             cycles = 0
@@ -970,15 +1040,16 @@ class ReplayEngine:
 
             # Per-core hot references: one tuple unpack per dispatch
             # (field order is defined by _CoreHot — keep this unpack
-            # aligned with the class). The loop body below handles the
-            # common record — a TLB access plus an L1 hit or miss —
+            # aligned with the class). The loop body below handles every
+            # record — TLB access plus L1 hit or miss, and since PR 3
+            # also the next-line prefetcher, the miss classifiers, the
+            # migration data prefetcher and the banked NUCA L2 —
             # entirely inline, with no attribute chains, method dispatch
-            # or result allocation. Variant machinery that must observe
-            # individual accesses (prefetchers, classifiers, NUCA) falls
-            # back to _process_instruction/_process_data, which replay
-            # the identical semantics; the inline paths mirror those
-            # functions line for line and the golden suite pins them
-            # byte-identical.
+            # or result allocation. The inline paths mirror the
+            # reference _process_instruction/_process_data line for
+            # line; the golden suite pins them byte-identical, and the
+            # fast-vs-fallback matrix in tests/test_hot_path.py replays
+            # each configuration through both.
             (
                 l1i_index,
                 l1i_tags,
@@ -1030,6 +1101,17 @@ class ReplayEngine:
                 msv_dilution,
                 mtq_entries,
                 mtq_matched,
+                pf,
+                pf_pending,
+                i_cls,
+                icls_shadow,
+                icls_seen,
+                icls_cap,
+                d_cls,
+                dcls_shadow,
+                dcls_seen,
+                dcls_cap,
+                nuca_ipen,
             ) = core_hot[core]
 
             # Batched counters, flushed once per quantum: per-record
@@ -1052,15 +1134,36 @@ class ReplayEngine:
             d_m = 0
             i_ev = 0
             d_ev = 0
+            # PR 3 batched feature counters (flushed with the rest).
+            pf_issued = 0
+            pf_useful = 0
+            i_pf = 0
+            icls_comp = icls_capc = icls_conf = 0
+            dcls_comp = dcls_capc = dcls_conf = 0
+            dp_useful = 0
+            if dp is not None:
+                # The running thread is fixed for the whole quantum:
+                # resolve its data-prefetch history ring and pending set
+                # once (record_access/note_demand, amortised).
+                dp_hist = dp._history.get(thread_id)
+                if dp_hist is None:
+                    dp_hist = deque(maxlen=dp.n_blocks)
+                    dp._history[thread_id] = dp_hist
+                dp_pending = dp._pending.get(thread_id)
+            else:
+                dp_hist = None
+                dp_pending = None
 
             end = pos + quantum
             if end > n_records:
                 end = n_records
-            for block, k in zip(addr[pos:end], kind[pos:end]):
+            for block, k, page in zip(
+                addr[pos:end], kind[pos:end], pages[pos:end]
+            ):
                 pos += 1
                 if k == KI:
-                    # --- I-TLB (Tlb.access, inlined) ---
-                    page = block >> PAGE_SHIFT
+                    # --- I-TLB (Tlb.access, inlined; the page id is
+                    # precomputed in the replay tables) ---
                     i_n += 1
                     if page == itlb_last:
                         # Already the most-recent entry: move_to_end
@@ -1088,15 +1191,32 @@ class ReplayEngine:
                     # the quantum flush: ibase * i_n.)
                     set_idx = block & l1i_set_mask
                     index = l1i_index[set_idx]
-                    if block in index:
+                    way = index.get(block)
+                    if way is not None:
                         # --- L1-I hit ---
-                        way = index[block]
                         if l1i_is_lru:
                             hi = l1i_hi[set_idx] + 1
                             l1i_hi[set_idx] = hi
                             l1i_ages[set_idx][way] = hi
                         else:
                             l1i_on_hit(set_idx, way)
+                        if i_cls is not None:
+                            # MissClassifier.observe (hit case), inlined:
+                            # keep the fully-associative shadow's recency
+                            # faithful; nothing to classify.
+                            if block in icls_shadow:
+                                icls_shadow.move_to_end(block)
+                            else:
+                                icls_shadow[block] = None
+                                if len(icls_shadow) > icls_cap:
+                                    icls_shadow.popitem(last=False)
+                        if pf_pending is not None and block in pf_pending:
+                            # consume_if_prefetched, inlined: the hit
+                            # consumed an in-flight prefetch — charge the
+                            # late-prefetch residual.
+                            pf_pending.discard(block)
+                            pf_useful += 1
+                            i_stall_cycles += pf_late
                         if mc is not None and mc._count >= mc_limit:
                             if slicc_agent is not None:
                                 bypass_tick += 1
@@ -1109,6 +1229,24 @@ class ReplayEngine:
                         continue
                     # --- L1-I miss ---
                     i_m += 1
+                    if i_cls is not None:
+                        # MissClassifier.observe (miss case), inlined.
+                        if block in icls_shadow:
+                            icls_shadow.move_to_end(block)
+                            if block not in icls_seen:
+                                icls_seen.add(block)
+                                icls_comp += 1
+                            else:
+                                icls_conf += 1
+                        else:
+                            icls_shadow[block] = None
+                            if len(icls_shadow) > icls_cap:
+                                icls_shadow.popitem(last=False)
+                            if block not in icls_seen:
+                                icls_seen.add(block)
+                                icls_comp += 1
+                            else:
+                                icls_capc += 1
                     if l1i_need_on_miss:
                         l1i_on_miss(set_idx)
                     fill = True
@@ -1144,6 +1282,10 @@ class ReplayEngine:
                                         break
                                 else:
                                     sig_masks[vidx] &= ~sig_bit
+                            elif pf_pending is not None:
+                                # NextLinePrefetcher.on_evict, inlined: a
+                                # pending prefetch for the victim dies.
+                                pf_pending.discard(victim)
                             elif l1i_on_evict is not None:
                                 l1i_on_evict(victim)
                         tags[way] = block
@@ -1154,13 +1296,95 @@ class ReplayEngine:
                             l1i_ages[set_idx][way] = hi
                         else:
                             l1i_on_fill(set_idx, way)
-                    if block in l2_seen:
-                        i_stall_cycles += i_miss_l2
+                    if nuca_ipen is None:
+                        if block in l2_seen:
+                            i_stall_cycles += i_miss_l2
+                        else:
+                            l2_seen.add(block)
+                            i_stall_cycles += i_miss_mem
                     else:
-                        l2_seen.add(block)
-                        i_stall_cycles += i_miss_mem
+                        # --- NucaL2.access, inlined: banked lookup with
+                        # distance-aware latency; banks are plain LRU.
+                        # On a bank hit the penalty is the per-bank
+                        # latency table entry (latency + front-end
+                        # refill); a bank miss pays the memory-flavour
+                        # instruction miss and fills the bank. The
+                        # infinite-L2 l2_seen set is not consulted,
+                        # mirroring the reference path. ---
+                        bank = block % n_banks
+                        local = block // n_banks
+                        (
+                            b_index,
+                            b_tags,
+                            b_ages,
+                            b_hi,
+                            b_mask,
+                            b_assoc,
+                        ) = nuca_hot[bank]
+                        nuca_acc[bank] += 1
+                        b_set = local & b_mask
+                        b_dict = b_index[b_set]
+                        b_way = b_dict.get(local)
+                        if b_way is not None:
+                            h = b_hi[b_set] + 1
+                            b_hi[b_set] = h
+                            b_ages[b_set][b_way] = h
+                            i_stall_cycles += nuca_ipen[bank]
+                        else:
+                            nuca_miss_ct[bank] += 1
+                            if len(b_dict) < b_assoc:
+                                b_t = b_tags[b_set]
+                                b_way = b_t.index(None)
+                            else:
+                                b_a = b_ages[b_set]
+                                b_way = b_a.index(min(b_a))
+                                b_t = b_tags[b_set]
+                                del b_dict[b_t[b_way]]
+                                nuca_ev[bank] += 1
+                            b_t[b_way] = local
+                            b_dict[local] = b_way
+                            h = b_hi[b_set] + 1
+                            b_hi[b_set] = h
+                            b_ages[b_set][b_way] = h
+                            i_stall_cycles += i_miss_mem
                     if fill and sig_masks is not None:
                         sig_masks[block & sig_imask] |= sig_bit
+                    if pf_pending is not None:
+                        # NextLinePrefetcher.on_demand_miss + the
+                        # engine's l2_touch of the prefetched block,
+                        # inlined: fetch block+1 unless already resident
+                        # (an install, not a demand access — no
+                        # access/miss counts, no policy.on_miss).
+                        nxt = block + 1
+                        n_set = nxt & l1i_set_mask
+                        n_index = l1i_index[n_set]
+                        if nxt not in n_index:
+                            i_pf += 1
+                            if len(n_index) < l1i_assoc:
+                                n_tags = l1i_tags[n_set]
+                                n_way = n_tags.index(None)
+                            else:
+                                if l1i_is_lru:
+                                    n_a = l1i_ages[n_set]
+                                    n_way = n_a.index(min(n_a))
+                                else:
+                                    n_way = l1i_choose_victim(n_set)
+                                n_tags = l1i_tags[n_set]
+                                victim = n_tags[n_way]
+                                del n_index[victim]
+                                i_ev += 1
+                                pf_pending.discard(victim)
+                            n_tags[n_way] = nxt
+                            n_index[nxt] = n_way
+                            if l1i_is_lru:
+                                hi = l1i_hi[n_set] + 1
+                                l1i_hi[n_set] = hi
+                                l1i_ages[n_set][n_way] = hi
+                            else:
+                                l1i_on_fill(n_set, n_way)
+                            pf_pending.add(nxt)
+                            pf_issued += 1
+                            l2_seen.add(nxt)
                     if steps_agent is not None:
                         # observe_access + the STEPS dilution check,
                         # inlined from _process_instruction.
@@ -1214,8 +1438,7 @@ class ReplayEngine:
                                 msv_ones = msv._ones
                     continue
                 # --- data record ---
-                # --- D-TLB (Tlb.access, inlined) ---
-                page = block >> PAGE_SHIFT
+                # --- D-TLB (Tlb.access, inlined; precomputed page) ---
                 d_n += 1
                 if page == dtlb_last:
                     pass
@@ -1233,17 +1456,29 @@ class ReplayEngine:
                     cycles += process_data(core, block, k == KS)
                     continue
                 # (dbase is charged at the quantum flush: dbase * d_n.)
+                if dp_hist is not None:
+                    # MigrationDataPrefetcher.record_access, inlined
+                    # (bounded deque; the oldest tag falls off).
+                    dp_hist.append(block)
                 set_idx = block & l1d_set_mask
                 index = l1d_index[set_idx]
-                if block in index:
+                way = index.get(block)
+                if way is not None:
                     # --- L1-D hit ---
-                    way = index[block]
                     if l1d_is_lru:
                         hi = l1d_hi[set_idx] + 1
                         l1d_hi[set_idx] = hi
                         l1d_ages[set_idx][way] = hi
                     else:
                         l1d_on_hit(set_idx, way)
+                    if d_cls is not None:
+                        # MissClassifier.observe (hit case), inlined.
+                        if block in dcls_shadow:
+                            dcls_shadow.move_to_end(block)
+                        else:
+                            dcls_shadow[block] = None
+                            if len(dcls_shadow) > dcls_cap:
+                                dcls_shadow.popitem(last=False)
                     if k == KS:
                         # Directory.on_write fast cases, inlined: first
                         # write, or a write by the sole sharer.
@@ -1257,6 +1492,29 @@ class ReplayEngine:
                     continue
                 # --- L1-D miss ---
                 d_m += 1
+                if dp_pending and block in dp_pending:
+                    # note_demand, inlined: the miss consumed a block the
+                    # migration prefetcher shipped here.
+                    dp_pending.discard(block)
+                    dp_useful += 1
+                if d_cls is not None:
+                    # MissClassifier.observe (miss case), inlined.
+                    if block in dcls_shadow:
+                        dcls_shadow.move_to_end(block)
+                        if block not in dcls_seen:
+                            dcls_seen.add(block)
+                            dcls_comp += 1
+                        else:
+                            dcls_conf += 1
+                    else:
+                        dcls_shadow[block] = None
+                        if len(dcls_shadow) > dcls_cap:
+                            dcls_shadow.popitem(last=False)
+                        if block not in dcls_seen:
+                            dcls_seen.add(block)
+                            dcls_comp += 1
+                        else:
+                            dcls_capc += 1
                 if l1d_need_on_miss:
                     l1d_on_miss(set_idx)
                 # --- SetAssociativeCache._fill, inlined ---
@@ -1290,11 +1548,52 @@ class ReplayEngine:
                     l1d_ages[set_idx][way] = hi
                 else:
                     l1d_on_fill(set_idx, way)
-                if block in l2_seen:
-                    in_l2 = True
+                if nuca_ipen is None:
+                    if block in l2_seen:
+                        in_l2 = True
+                    else:
+                        l2_seen.add(block)
+                        in_l2 = False
                 else:
-                    l2_seen.add(block)
-                    in_l2 = False
+                    # --- NucaL2.access, inlined (data flavour): only
+                    # the bank hit/miss outcome feeds the overlap-
+                    # adjusted penalty; l2_seen is not consulted. ---
+                    bank = block % n_banks
+                    local = block // n_banks
+                    (
+                        b_index,
+                        b_tags,
+                        b_ages,
+                        b_hi,
+                        b_mask,
+                        b_assoc,
+                    ) = nuca_hot[bank]
+                    nuca_acc[bank] += 1
+                    b_set = local & b_mask
+                    b_dict = b_index[b_set]
+                    b_way = b_dict.get(local)
+                    if b_way is not None:
+                        h = b_hi[b_set] + 1
+                        b_hi[b_set] = h
+                        b_ages[b_set][b_way] = h
+                        in_l2 = True
+                    else:
+                        nuca_miss_ct[bank] += 1
+                        if len(b_dict) < b_assoc:
+                            b_t = b_tags[b_set]
+                            b_way = b_t.index(None)
+                        else:
+                            b_a = b_ages[b_set]
+                            b_way = b_a.index(min(b_a))
+                            b_t = b_tags[b_set]
+                            del b_dict[b_t[b_way]]
+                            nuca_ev[bank] += 1
+                        b_t[b_way] = local
+                        b_dict[local] = b_way
+                        h = b_hi[b_set] + 1
+                        b_hi[b_set] = h
+                        b_ages[b_set][b_way] = h
+                        in_l2 = False
                 if k == KS:
                     d_stall_cycles += d_store_l2 if in_l2 else d_store_mem
                     sharers = dir_sharers.get(block)
@@ -1329,6 +1628,16 @@ class ReplayEngine:
                 inline_base = ibase * i_n
                 cycles += inline_base
                 self.cycles_base += inline_base
+                if pf is not None:
+                    pf.issued += pf_issued
+                    pf.useful += pf_useful
+                    l1i_stats.prefetch_fills += i_pf
+                if i_cls is not None:
+                    i_cls.accesses += i_n
+                    counts = i_cls.counts
+                    counts[_MC_COMPULSORY] += icls_comp
+                    counts[_MC_CAPACITY] += icls_capc
+                    counts[_MC_CONFLICT] += icls_conf
             if fast_d:
                 l1d_stats.accesses += d_n
                 l1d_stats.misses += d_m
@@ -1336,6 +1645,14 @@ class ReplayEngine:
                 inline_base = dbase * d_n
                 cycles += inline_base
                 self.cycles_base += inline_base
+                if d_cls is not None:
+                    d_cls.accesses += d_n
+                    counts = d_cls.counts
+                    counts[_MC_COMPULSORY] += dcls_comp
+                    counts[_MC_CAPACITY] += dcls_capc
+                    counts[_MC_CONFLICT] += dcls_conf
+                if dp_useful:
+                    dp.useful += dp_useful
             itlb.accesses += i_n
             itlb.misses += itlb_m
             dtlb.accesses += d_n
@@ -1357,6 +1674,17 @@ class ReplayEngine:
 
             if running[core] is not None or not queues_is_empty(core):
                 self._activate(core, clocks[core])
+
+        if nuca_hot is not None:
+            # Flush the batched bank statistics (inline events only; the
+            # reference path updates bank stats directly, so mixed
+            # fast/fallback runs stay correct).
+            for bank, cache in enumerate(machine.nuca._banks):
+                stats = cache.stats
+                stats.accesses += nuca_acc[bank]
+                stats.misses += nuca_miss_ct[bank]
+                stats.evictions += nuca_ev[bank]
+                nuca_acc[bank] = nuca_miss_ct[bank] = nuca_ev[bank] = 0
 
         if self.completed != len(self.threads):
             raise SimulationError(

@@ -49,6 +49,38 @@ class ThreadTrace:
     def __len__(self) -> int:
         return len(self.addr)
 
+    def replay_tables(self, page_shift: int) -> tuple[list, list, list]:
+        """Cached plain-list ``(addr, kind, page)`` tables for the replay
+        engine's hot loop.
+
+        Indexing a Python list yields cached small ints where indexing a
+        numpy array allocates a numpy scalar that must be unboxed — a
+        large per-record cost — and the page id (``addr >> page_shift``)
+        is a pure function of the address, so both conversions are done
+        once here and memoised on the thread. The tables are read-only
+        by contract: the engine never mutates them, so one materialised
+        copy serves every simulation of this trace in the process (and,
+        under ``fork``-based experiment runners, every worker inherits
+        the parent's copy for free). The cache is dropped on pickling —
+        shipping redundant list renderings of the numpy arrays would
+        bloat ``spawn``-style worker transfers.
+        """
+        cached = getattr(self, "_replay_tables", None)
+        if cached is not None and cached[0] == page_shift:
+            return cached[1]
+        tables = (
+            self.addr.tolist(),
+            self.kind.tolist(),
+            (self.addr >> page_shift).tolist(),
+        )
+        self._replay_tables = (page_shift, tables)
+        return tables
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state.pop("_replay_tables", None)
+        return state
+
     @property
     def n_instruction_records(self) -> int:
         """Number of instruction-block records."""

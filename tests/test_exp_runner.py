@@ -63,6 +63,26 @@ class TestRunnerBasics:
         assert result_to_json(result) == result_to_json(direct)
         assert runner.last_stats.simulated == 1
 
+    def test_stats_record_wall_and_per_spec_timing(self, smoke_tpcc):
+        specs = [
+            spec_for(smoke_tpcc, variant=v, label=v)
+            for v in ("base", "slicc")
+        ]
+        runner = Runner()
+        runner.run(specs, trace=smoke_tpcc)
+        stats = runner.last_stats
+        assert stats.simulated == 2
+        assert stats.wall_seconds > 0
+        assert stats.sim_seconds > 0
+        assert set(stats.spec_seconds) == {spec.key() for spec in specs}
+        assert all(s > 0 for s in stats.spec_seconds.values())
+        # Cumulative stats aggregate per-call timings.
+        assert runner.stats.sim_seconds == pytest.approx(stats.sim_seconds)
+        # A fully cached rerun simulates nothing and times nothing new.
+        runner.run(specs, trace=smoke_tpcc)
+        assert runner.last_stats.simulated == 0
+        assert runner.last_stats.sim_seconds == 0
+
     def test_declarative_spec_builds_its_own_trace(self):
         spec = ExperimentSpec(
             "tpcc-1", scale="smoke", seed=7, config=SimConfig(variant="base")

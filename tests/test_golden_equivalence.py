@@ -15,20 +15,28 @@ fixtures with ``python scripts/dump_golden.py`` and say so in the PR.
 
 from __future__ import annotations
 
+import sys
 from pathlib import Path
 
 import pytest
 
 from repro.exp.store import result_to_json
 from repro.params import ScalePreset
-from repro.sim.engine import VARIANTS, simulate
+from repro.sim.engine import VARIANTS, SimConfig, simulate
 from repro.workloads import standard_trace
 
 GOLDEN_DIR = Path(__file__).parent / "golden"
 
-#: Must match scripts/dump_golden.py.
-GOLDEN_WORKLOADS = ("tpcc-1", "tpce")
-GOLDEN_SEED = 7
+# The golden grid — workloads, seed, and the prefetcher/classifier/NUCA/
+# data-prefetch config pins — is defined once in scripts/dump_golden.py
+# (the tool that records the fixtures); import it so the pinned set and
+# the regeneration script cannot drift apart.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
+from dump_golden import (  # noqa: E402
+    GOLDEN_CONFIGS,
+    GOLDEN_SEED,
+    GOLDEN_WORKLOADS,
+)
 
 
 @pytest.fixture(scope="module")
@@ -44,6 +52,10 @@ def test_every_variant_has_a_fixture():
         f"{workload}__{variant}.json"
         for workload in GOLDEN_WORKLOADS
         for variant in VARIANTS
+    } | {
+        f"{workload}__cfg-{name}.json"
+        for workload in GOLDEN_WORKLOADS
+        for name, _ in GOLDEN_CONFIGS
     }
     present = {p.name for p in GOLDEN_DIR.glob("*.json")}
     assert expected <= present, f"missing fixtures: {expected - present}"
@@ -54,4 +66,16 @@ def test_every_variant_has_a_fixture():
 def test_byte_identical_to_seed_engine(golden_traces, workload, variant):
     golden = (GOLDEN_DIR / f"{workload}__{variant}.json").read_text().strip()
     result = simulate(golden_traces[workload], variant=variant)
+    assert result_to_json(result) == golden
+
+
+@pytest.mark.parametrize(
+    "name,kwargs", GOLDEN_CONFIGS, ids=[name for name, _ in GOLDEN_CONFIGS]
+)
+@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+def test_config_pins_byte_identical(golden_traces, workload, name, kwargs):
+    """Prefetcher/classifier/NUCA configurations are pinned too, so the
+    PR 3 inline fast paths cannot drift from the reference semantics."""
+    golden = (GOLDEN_DIR / f"{workload}__cfg-{name}.json").read_text().strip()
+    result = simulate(golden_traces[workload], config=SimConfig(**kwargs))
     assert result_to_json(result) == golden

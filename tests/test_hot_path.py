@@ -1,10 +1,12 @@
-"""Unit tests for the PR 2 hot-path mechanisms.
+"""Unit tests for the PR 2/PR 3 hot-path mechanisms.
 
 The golden-equivalence suite proves the full engine is unchanged
 end-to-end; these tests pin the individual mechanisms — the
-allocation-free cache access, the age-counter LRU backend, and the
-transposed bloom store — against small hand-checkable scenarios and
-reference implementations.
+allocation-free cache access, the age-counter LRU backend, the
+transposed bloom store, and (PR 3) the inline fast paths for the
+next-line prefetcher, the miss classifiers, the banked NUCA L2 and the
+migration data prefetcher — against small hand-checkable scenarios and
+the reference implementations they replace.
 """
 
 from __future__ import annotations
@@ -16,8 +18,11 @@ import pytest
 from repro.cache.cache import SetAssociativeCache
 from repro.cache.policies.base import make_policy
 from repro.core.signature import BloomSignature, SignatureSet
-from repro.params import CacheParams, SliccParams, SystemParams
+from repro.exp.store import result_to_json
+from repro.params import CacheParams, ScalePreset, SliccParams, SystemParams
+from repro.sim.engine import ReplayEngine, SimConfig
 from repro.sim.machine import Machine
+from repro.workloads import standard_trace
 
 
 @pytest.fixture
@@ -160,3 +165,162 @@ class TestTransposedSignatures:
         cache = SetAssociativeCache(tiny_params)
         with pytest.raises(ConfigurationError):
             BloomSignature(128, cache, shared=SignatureSet(64))
+
+
+# ----------------------------------------------------------------------
+# PR 3: inline fast paths vs the generic reference implementation
+# ----------------------------------------------------------------------
+
+#: One configuration per inline branch of the quantum loop, plus the
+#: combinations: next-line prefetcher (consume/issue/evict), I+D miss
+#: classifiers (shadow LRU + three-C counts), banked NUCA (both record
+#: kinds), the migration data prefetcher (history/pending), and each of
+#: them stacked on the SLICC/STEPS tracker paths.
+FAST_PATH_CONFIGS = (
+    ("nextline", {}),
+    ("base-classify", {"variant": "base", "collect_miss_classes": True}),
+    ("pif-classify", {"variant": "pif", "collect_miss_classes": True}),
+    ("slicc-classify", {"variant": "slicc", "collect_miss_classes": True}),
+    ("base-nuca", {"variant": "base", "model_l2_capacity": True}),
+    ("nextline-nuca", {"variant": "nextline", "model_l2_capacity": True}),
+    ("slicc-dp", {"variant": "slicc", "data_prefetch_n": 4}),
+    (
+        "slicc-everything",
+        {
+            "variant": "slicc",
+            "model_l2_capacity": True,
+            "data_prefetch_n": 4,
+            "collect_miss_classes": True,
+        },
+    ),
+    (
+        "steps-nuca-classify",
+        {
+            "variant": "steps",
+            "model_l2_capacity": True,
+            "collect_miss_classes": True,
+        },
+    ),
+    (
+        "slicc-sw-nuca-classify",
+        {
+            "variant": "slicc-sw",
+            "model_l2_capacity": True,
+            "collect_miss_classes": True,
+        },
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def matrix_trace():
+    return standard_trace("tpcc-1", ScalePreset.SMOKE, seed=3)
+
+
+def _run(trace, kwargs, fast: bool):
+    config = (
+        SimConfig(**kwargs) if "variant" in kwargs
+        else SimConfig(variant="nextline", **kwargs)
+    )
+    engine = ReplayEngine(trace, config)
+    if not fast:
+        # Force every record through the generic reference path
+        # (_process_instruction/_process_data). These flags exist for
+        # exactly this test: proving the inline loop bit-identical.
+        engine._fast_i = False
+        engine._fast_d = False
+    return result_to_json(engine.run())
+
+
+class TestFastVsFallbackMatrix:
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        FAST_PATH_CONFIGS,
+        ids=[name for name, _ in FAST_PATH_CONFIGS],
+    )
+    def test_inline_matches_reference(self, matrix_trace, name, kwargs):
+        fast = _run(matrix_trace, dict(kwargs), fast=True)
+        reference = _run(matrix_trace, dict(kwargs), fast=False)
+        assert fast == reference
+
+    def test_mixed_fast_instruction_reference_data(self, matrix_trace):
+        """Per-kind flags are independent: inline I records + reference
+        D records (and vice versa) still agree with the full inline run,
+        including the shared NUCA bank statistics."""
+        config = SimConfig(
+            variant="slicc",
+            model_l2_capacity=True,
+            data_prefetch_n=4,
+            collect_miss_classes=True,
+        )
+        full = ReplayEngine(matrix_trace, config)
+        expected = result_to_json(full.run())
+        for fast_i, fast_d in ((True, False), (False, True)):
+            engine = ReplayEngine(matrix_trace, config)
+            engine._fast_i = fast_i
+            engine._fast_d = fast_d
+            assert result_to_json(engine.run()) == expected, (fast_i, fast_d)
+
+
+class TestFastPathCoverage:
+    def test_nuca_prefetcher_combo_takes_fast_path(self, matrix_trace):
+        """Regression: a NUCA+prefetcher combination must run inline —
+        exactly the class of config PR 2 sent through the slow generic
+        fallback."""
+        engine = ReplayEngine(
+            matrix_trace,
+            SimConfig(variant="nextline", model_l2_capacity=True),
+        )
+        assert engine.prefetchers is not None
+        assert engine.machine.nuca is not None
+        assert engine._fast_i and engine._fast_d
+
+    @pytest.mark.parametrize(
+        "name,kwargs",
+        FAST_PATH_CONFIGS,
+        ids=[name for name, _ in FAST_PATH_CONFIGS],
+    )
+    def test_every_config_is_fast(self, matrix_trace, name, kwargs):
+        kwargs = dict(kwargs)
+        config = (
+            SimConfig(**kwargs) if "variant" in kwargs
+            else SimConfig(variant="nextline", **kwargs)
+        )
+        engine = ReplayEngine(matrix_trace, config)
+        assert engine._fast_i and engine._fast_d
+
+    def test_nuca_bank_stats_flushed(self, matrix_trace):
+        """The batched bank counters must land in the bank CacheStats by
+        the time run() returns (inline runs only batch, never lose)."""
+        config = SimConfig(variant="base", model_l2_capacity=True)
+        fast = ReplayEngine(matrix_trace, config)
+        fast.run()
+        ref = ReplayEngine(matrix_trace, config)
+        ref._fast_i = ref._fast_d = False
+        ref.run()
+        fast_stats = fast.machine.nuca.stats()
+        ref_stats = ref.machine.nuca.stats()
+        assert fast_stats.accesses == ref_stats.accesses > 0
+        assert fast_stats.misses == ref_stats.misses
+        assert fast_stats.evictions == ref_stats.evictions
+
+
+class TestReplayTables:
+    def test_tables_cached_and_consistent(self, matrix_trace):
+        thread = matrix_trace.threads[0]
+        addr, kind, page = thread.replay_tables(12)
+        assert addr == thread.addr.tolist()
+        assert kind == thread.kind.tolist()
+        assert page == [a >> 12 for a in addr]
+        # Same object on repeat (memoised), rebuilt for another shift.
+        assert thread.replay_tables(12)[0] is addr
+        assert thread.replay_tables(13)[2] != page or not page
+
+    def test_tables_not_pickled(self, matrix_trace):
+        import pickle
+
+        thread = matrix_trace.threads[0]
+        thread.replay_tables(12)
+        clone = pickle.loads(pickle.dumps(thread))
+        assert not hasattr(clone, "_replay_tables")
+        assert clone.addr.tolist() == thread.addr.tolist()
