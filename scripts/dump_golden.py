@@ -3,16 +3,22 @@
 
 Each fixture is the canonical JSON (:func:`repro.exp.store.result_to_json`)
 of one ``simulate()`` run: every engine variant crossed with two smoke
-workloads. ``tests/test_golden_equivalence.py`` pins the engine's output
+workloads (plus the plain variants on the scenario-extension workloads).
+``tests/test_golden_equivalence.py`` pins the engine's output
 byte-identical to these files, so they must only ever be regenerated when
 a simulated *number* is meant to change — never as part of a pure
 performance PR. Run from the repo root:
 
     python scripts/dump_golden.py
+
+``--out DIR`` writes elsewhere (the CI golden-freshness job regenerates
+into a temp dir and diffs against ``tests/golden/`` so stale pins cannot
+merge silently).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 from pathlib import Path
 
@@ -27,6 +33,12 @@ from repro.workloads import standard_trace  # noqa: E402
 #: workloads (OLTP with teams-relevant type mix, and TPC-E).
 GOLDEN_WORKLOADS = ("tpcc-1", "tpce")
 GOLDEN_SEED = 7
+
+#: Scenario-extension workloads pinned on the plain variants only: their
+#: point is trace-shape coverage (handler churn, mid-trace mix shift),
+#: while the cfg combinations above already exercise every fallback path
+#: on the OLTP pair.
+GOLDEN_VARIANT_WORKLOADS = ("webserve", "phased")
 
 #: Config pins beyond the plain variants: every fallback trigger of the
 #: pre-PR-3 engine (next-line prefetcher, miss classifiers, banked NUCA,
@@ -64,21 +76,37 @@ def golden_dir() -> Path:
     return Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 
-def main() -> int:
-    out = golden_dir()
+def _dump_variants(trace, workload: str, out: Path) -> None:
+    for variant in VARIANTS:
+        result = simulate(trace, variant=variant)
+        path = out / f"{workload}__{variant}.json"
+        path.write_text(result_to_json(result) + "\n")
+        print(f"wrote {path.name}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="output directory (default: tests/golden/)",
+    )
+    args = parser.parse_args(argv)
+    out = args.out if args.out is not None else golden_dir()
     out.mkdir(parents=True, exist_ok=True)
     for workload in GOLDEN_WORKLOADS:
         trace = standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
-        for variant in VARIANTS:
-            result = simulate(trace, variant=variant)
-            path = out / f"{workload}__{variant}.json"
-            path.write_text(result_to_json(result) + "\n")
-            print(f"wrote {path.name}")
+        _dump_variants(trace, workload, out)
         for name, kwargs in GOLDEN_CONFIGS:
             result = simulate(trace, config=SimConfig(**kwargs))
             path = out / f"{workload}__cfg-{name}.json"
             path.write_text(result_to_json(result) + "\n")
             print(f"wrote {path.name}")
+    for workload in GOLDEN_VARIANT_WORKLOADS:
+        trace = standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
+        _dump_variants(trace, workload, out)
     return 0
 
 

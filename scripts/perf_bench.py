@@ -105,6 +105,7 @@ def check(doc: dict, baseline_path: Path, max_regression: float) -> int:
                 continue
             compared += 1
             floor = base_row["records_per_sec"] * (1.0 - max_regression)
+            ratio = row["records_per_sec"] / base_row["records_per_sec"]
             status = "ok" if row["records_per_sec"] >= floor else "REGRESSED"
             print(
                 f"check {workload}/{variant:>9}: "
@@ -113,11 +114,16 @@ def check(doc: dict, baseline_path: Path, max_regression: float) -> int:
                 f"(floor {floor:>11.0f}) {status}"
             )
             if status != "ok":
-                failures.append(f"{workload}/{variant}")
+                failures.append((f"{workload}/{variant}", ratio))
     if failures:
+        # Name every offender with its measured ratio so a CI failure
+        # line is diagnosable without re-running the harness.
+        detail = ", ".join(
+            f"{name} at {ratio:.2f}x of baseline" for name, ratio in failures
+        )
         print(
-            f"FAIL: {', '.join(failures)} regressed by more than "
-            f"{max_regression:.0%} vs {baseline_path}"
+            f"FAIL: {detail} — below the {1.0 - max_regression:.2f}x floor "
+            f"(max regression {max_regression:.0%}) vs {baseline_path}"
         )
         return 1
     if compared == 0:

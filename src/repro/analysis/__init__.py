@@ -1,5 +1,11 @@
-"""Analysis helpers: reuse breakdowns, parameter sweeps, report tables."""
+"""Analysis helpers: reuse breakdowns, sweeps, report/figure tables."""
 
+from repro.analysis.paper_report import (
+    figure_table,
+    render_markdown,
+    write_figure_report,
+    write_index,
+)
 from repro.analysis.report import format_table, paper_vs_measured
 from repro.analysis.reuse import (
     ReuseBreakdown,
@@ -15,10 +21,14 @@ from repro.analysis.sweeps import (
 __all__ = [
     "ReuseBreakdown",
     "SweepPoint",
+    "figure_table",
     "format_table",
     "global_reuse",
     "paper_vs_measured",
     "per_transaction_reuse",
+    "render_markdown",
     "sweep_dilution",
     "sweep_fillup_matched",
+    "write_figure_report",
+    "write_index",
 ]

@@ -1,0 +1,171 @@
+"""Report generation for the paper-figure registry.
+
+Renders each :class:`~repro.exp.figures.Figure` as a metric table in two
+formats — GitHub-flavoured markdown (human diffing, nightly artifacts)
+and CSV (plotting, regression tooling) — from results already present in
+a :class:`~repro.exp.store.ResultStore`. Rows carry baseline-relative
+columns (``speedup`` and a delta per metric) whenever the figure pairs a
+spec with its baseline run, so a nightly diff of the report surfaces any
+drift in the reproduced numbers directly.
+
+The generator never simulates: ``repro paper`` runs the specs first and
+then calls :func:`write_report`; a missing result is therefore a bug and
+raises instead of silently emitting a hole.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.exp.figures import Figure, FigureRow
+from repro.exp.metrics import METRICS
+from repro.exp.store import ResultStore
+from repro.sim.results import SimulationResult
+
+#: Metrics whose baseline-relative delta column is meaningful (counters
+#: like ``migrations`` are zero on the baseline by construction, so a
+#: delta would just repeat the value).
+_DELTA_METRICS = frozenset({"I-MPKI", "D-MPKI", "bpki", "IPC", "util"})
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return "" if value is None else str(value)
+
+
+def _result_for(
+    store: ResultStore, row_spec, what: str
+) -> SimulationResult:
+    result = store.get(row_spec.key())
+    if result is None:
+        raise ConfigurationError(
+            f"store has no result for {what} {row_spec.display_label()!r} "
+            f"(key {row_spec.key()[:12]}...); run the figure before "
+            "rendering its report"
+        )
+    return result
+
+
+def figure_table(
+    figure: Figure, rows: Sequence[FigureRow], store: ResultStore
+) -> tuple[list[str], list[list[object]]]:
+    """Build the figure's (headers, rows) table from stored results.
+
+    Columns: identity (label/workload/variant), one column per figure
+    metric plus a ``Δ`` column versus the row's baseline for ratio-like
+    metrics, and ``speedup`` when any row has a baseline.
+
+    Raises:
+        ConfigurationError: if a row's result (or its baseline's) is not
+            in the store.
+    """
+    with_baseline = any(row.baseline is not None for row in rows)
+    headers = ["label", "workload", "variant"]
+    for metric in figure.metrics:
+        headers.append(metric)
+        if with_baseline and metric in _DELTA_METRICS:
+            headers.append(f"Δ{metric}")
+    if with_baseline:
+        headers.append("speedup")
+
+    table: list[list[object]] = []
+    for row in rows:
+        result = _result_for(store, row.spec, "spec")
+        base = (
+            _result_for(store, row.baseline, "baseline")
+            if row.baseline is not None
+            else None
+        )
+        cells: list[object] = [
+            row.spec.display_label(),
+            row.spec.workload,
+            row.spec.variant,
+        ]
+        for metric in figure.metrics:
+            value = METRICS[metric](result)
+            cells.append(value)
+            if with_baseline and metric in _DELTA_METRICS:
+                cells.append(
+                    float(value) - float(METRICS[metric](base))
+                    if base is not None
+                    else None
+                )
+        if with_baseline:
+            cells.append(
+                result.speedup_over(base) if base is not None else None
+            )
+        table.append(cells)
+    return headers, table
+
+
+def render_markdown(
+    figure: Figure, headers: Sequence[str], table: Sequence[Sequence[object]]
+) -> str:
+    """The figure as a markdown section with a pipe table."""
+    lines = [f"## {figure.title}", "", figure.description, ""]
+    lines.append("| " + " | ".join(headers) + " |")
+    lines.append("|" + "|".join(" --- " for _ in headers) + "|")
+    for row in table:
+        lines.append("| " + " | ".join(_fmt(cell) for cell in row) + " |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def write_figure_report(
+    figure: Figure,
+    rows: Sequence[FigureRow],
+    store: ResultStore,
+    out_dir: Path,
+) -> dict[str, Path]:
+    """Write ``<name>.md`` and ``<name>.csv`` for one figure.
+
+    Returns the written paths keyed by format.
+    """
+    headers, table = figure_table(figure, rows, store)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    md_path = out_dir / f"{figure.name}.md"
+    md_path.write_text(
+        render_markdown(figure, headers, table), encoding="utf-8"
+    )
+
+    csv_path = out_dir / f"{figure.name}.csv"
+    with csv_path.open("w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in table:
+            writer.writerow([_fmt(cell) for cell in row])
+    return {"markdown": md_path, "csv": csv_path}
+
+
+def write_index(
+    out_dir: Path,
+    entries: Sequence[tuple[Figure, int]],
+    scale: str,
+    store_path: Optional[Path] = None,
+) -> Path:
+    """Write ``index.md`` linking every figure written in this run."""
+    out_dir = Path(out_dir)
+    lines = [
+        "# Paper reproduction report",
+        "",
+        f"Scale preset: `{scale}`"
+        + (f" — result store: `{store_path.name}`" if store_path else ""),
+        "",
+        "| figure | title | rows |",
+        "| --- | --- | --- |",
+    ]
+    for figure, n_rows in entries:
+        lines.append(
+            f"| [{figure.name}]({figure.name}.md) | {figure.title} "
+            f"| {n_rows} |"
+        )
+    lines.append("")
+    path = out_dir / "index.md"
+    path.write_text("\n".join(lines), encoding="utf-8")
+    return path

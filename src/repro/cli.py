@@ -5,6 +5,7 @@ Commands
 ``run``     simulate one workload under one or more variants
 ``sweep``   the Figure 7/8 threshold sweeps
 ``exp``     run a declarative experiment spec file end-to-end
+``paper``   reproduce the registered paper figures into a report
 ``info``    show workload and machine parameters
 
 Examples::
@@ -13,6 +14,8 @@ Examples::
     python -m repro run tpce --variants base slicc slicc-sw --jobs 4
     python -m repro sweep tpcc-1 --kind dilution --jobs 8
     python -m repro exp experiments/dilution.json --jobs 8 --store results/
+    python -m repro paper --scale smoke --out report/
+    python -m repro paper --figures fig8-dilution fig10-mpki --jobs 4
     python -m repro info tpce
 """
 
@@ -20,14 +23,23 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
-from repro.analysis import format_table, sweep_dilution, sweep_fillup_matched
+from repro.analysis import (
+    format_table,
+    sweep_dilution,
+    sweep_fillup_matched,
+    write_figure_report,
+    write_index,
+)
 from repro.errors import ReproError
 from repro.exp import (
     ResultStore,
     Runner,
+    figure_names,
     load_spec_file,
+    select_figures,
     spec_for,
     summarize,
 )
@@ -178,6 +190,50 @@ def _cmd_exp(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_paper(args: argparse.Namespace) -> int:
+    if args.list:
+        rows = [
+            [figure.name, figure.title, len(figure.build(args.scale))]
+            for figure in select_figures()
+        ]
+        print(format_table(["figure", "title", "rows"], rows,
+                           title=f"registered figures ({args.scale} scale)"))
+        return 0
+
+    figures = select_figures(args.figures)
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    # The store lives inside the report directory by default, so pointing
+    # a second invocation at the same --out is what makes it resumable.
+    store = ResultStore(args.store if args.store else out / "results.jsonl")
+    runner = Runner(store=store, jobs=args.jobs)
+
+    entries = []
+    total_simulated = total_skipped = 0
+    for figure in figures:
+        rows = figure.build(args.scale)
+        specs = figure.specs(args.scale)
+        cached = sum(1 for spec in specs if spec.key() in store)
+        todo = len(specs) - cached
+        print(
+            f"[{figure.name}] {len(rows)} rows / {len(specs)} specs: "
+            f"{cached} already stored (skipped), {todo} to simulate"
+        )
+        runner.run(specs)
+        total_simulated += runner.last_stats.simulated
+        total_skipped += cached
+        paths = write_figure_report(figure, rows, store, out)
+        entries.append((figure, len(rows)))
+        print(f"  wrote {paths['markdown']} and {paths['csv']}")
+    index = write_index(out, entries, scale=args.scale, store_path=store.path)
+    print(
+        f"report: {index} ({len(entries)} figures; "
+        f"{total_simulated} simulated, {total_skipped} skipped via "
+        f"{store.path})"
+    )
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     scale = ScalePreset(args.scale)
     spec = get_workload(args.workload, scale)
@@ -228,6 +284,37 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("specfile", help="JSON spec file (see repro.exp.specfile)")
     _add_exec(exp)
     exp.set_defaults(func=_cmd_exp)
+
+    paper = sub.add_parser(
+        "paper",
+        help="reproduce the paper's figure set into a markdown/CSV report",
+    )
+    paper.add_argument(
+        "--figures",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help=f"figures to run (default: all of {figure_names()})",
+    )
+    paper.add_argument(
+        "--scale",
+        choices=[s.value for s in ScalePreset],
+        default="smoke",
+        help="scale preset for every figure (default: smoke)",
+    )
+    paper.add_argument(
+        "--out",
+        default="report",
+        metavar="DIR",
+        help="report directory (default: report/)",
+    )
+    paper.add_argument(
+        "--list",
+        action="store_true",
+        help="list registered figures and exit",
+    )
+    _add_exec(paper)
+    paper.set_defaults(func=_cmd_paper)
 
     info = sub.add_parser("info", help="show workload parameters")
     _add_common(info)

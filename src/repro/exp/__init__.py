@@ -15,6 +15,14 @@ Specs are frozen and content-hashed; the runner fans out over processes
 and the store makes repeated sweeps incremental.
 """
 
+from repro.exp.figures import (
+    Figure,
+    FigureRow,
+    figure_names,
+    get_figure,
+    register_figure,
+    select_figures,
+)
 from repro.exp.runner import Runner, RunnerStats
 from repro.exp.spec import (
     ExperimentSpec,
@@ -35,11 +43,17 @@ from repro.exp.summarize import summarize
 
 __all__ = [
     "ExperimentSpec",
+    "Figure",
+    "FigureRow",
     "ResultStore",
     "Runner",
     "RunnerStats",
+    "figure_names",
+    "get_figure",
     "grid",
     "load_spec_file",
+    "register_figure",
+    "select_figures",
     "product",
     "result_from_dict",
     "result_to_dict",

@@ -1,0 +1,23 @@
+"""The named result metrics shared by tables and reports.
+
+Kept in a leaf module (imports nothing from :mod:`repro.exp` or
+:mod:`repro.analysis`) so both the experiment summariser and the
+paper-report generator can use one metric vocabulary without an import
+cycle.
+"""
+
+from __future__ import annotations
+
+#: Metric name -> extractor over a
+#: :class:`~repro.sim.results.SimulationResult`.
+METRICS = {
+    "I-MPKI": lambda r: r.i_mpki,
+    "D-MPKI": lambda r: r.d_mpki,
+    "cycles": lambda r: r.cycles,
+    "migrations": lambda r: r.migrations,
+    "util": lambda r: r.utilization,
+    "bpki": lambda r: r.bpki,
+    "IPC": lambda r: r.ipc,
+}
+
+DEFAULT_METRICS = ("I-MPKI", "D-MPKI", "migrations", "util")

@@ -10,21 +10,11 @@ from __future__ import annotations
 from typing import Optional, Sequence, Tuple
 
 from repro.analysis.report import format_table
+from repro.exp.metrics import DEFAULT_METRICS, METRICS
 from repro.exp.spec import ExperimentSpec
 from repro.sim.results import SimulationResult
 
-#: Metric name -> extractor used by :func:`summarize`.
-_METRICS = {
-    "I-MPKI": lambda r: r.i_mpki,
-    "D-MPKI": lambda r: r.d_mpki,
-    "cycles": lambda r: r.cycles,
-    "migrations": lambda r: r.migrations,
-    "util": lambda r: r.utilization,
-    "bpki": lambda r: r.bpki,
-    "IPC": lambda r: r.ipc,
-}
-
-DEFAULT_METRICS = ("I-MPKI", "D-MPKI", "migrations", "util")
+__all__ = ["DEFAULT_METRICS", "METRICS", "summarize"]
 
 
 def summarize(
@@ -46,7 +36,7 @@ def summarize(
     Raises:
         KeyError: for an unknown metric name.
     """
-    extractors = [(name, _METRICS[name]) for name in metrics]
+    extractors = [(name, METRICS[name]) for name in metrics]
     headers = ["label", "variant"] + [name for name, _ in extractors]
     if baseline is not None:
         headers.append("speedup")

@@ -1,6 +1,7 @@
 """Workload substrate: specs, trace containers, generators, benchmarks.
 
-The four benchmarks of Table 1 are exposed through :func:`get_workload`:
+The four benchmarks of Table 1 — plus the scenario extensions
+(``webserve``, ``phased``) — are exposed through :func:`get_workload`:
 
 >>> from repro.workloads import get_workload
 >>> spec = get_workload("tpcc-1")
@@ -14,8 +15,10 @@ from repro.errors import ConfigurationError
 from repro.params import ScalePreset
 from repro.workloads.generator import generate_thread, generate_trace
 from repro.workloads.mapreduce import make_mapreduce
+from repro.workloads.phased import make_phased
 from repro.workloads.spec import (
     DataSpec,
+    MixPhase,
     PathStep,
     SegmentSpec,
     TransactionTypeSpec,
@@ -24,6 +27,7 @@ from repro.workloads.spec import (
 )
 from repro.workloads.tpcc import make_tpcc
 from repro.workloads.tpce import make_tpce
+from repro.workloads.webserve import make_webserve
 from repro.workloads.trace import (
     KIND_INSTR,
     KIND_LOAD,
@@ -44,12 +48,14 @@ _FACTORIES = {
     "tpcc-10": lambda scale: make_tpcc(scale, warehouses=10),
     "tpce": make_tpce,
     "mapreduce": make_mapreduce,
+    "webserve": make_webserve,
+    "phased": make_phased,
 }
 
 
 def workload_names() -> list[str]:
-    """The four Table 1 workloads, in paper order."""
-    return ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+    """The four Table 1 workloads (paper order), then the extensions."""
+    return ["tpcc-1", "tpcc-10", "tpce", "mapreduce", "webserve", "phased"]
 
 
 def get_workload(
@@ -88,6 +94,7 @@ __all__ = [
     "KIND_INSTR",
     "KIND_LOAD",
     "KIND_STORE",
+    "MixPhase",
     "PathStep",
     "SegmentSpec",
     "Trace",
@@ -99,8 +106,10 @@ __all__ = [
     "get_workload",
     "layout_segments",
     "make_mapreduce",
+    "make_phased",
     "make_tpcc",
     "make_tpce",
+    "make_webserve",
     "standard_trace",
     "workload_names",
 ]

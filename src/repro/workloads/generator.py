@@ -198,17 +198,58 @@ def generate_trace(
     if n_threads <= 0:
         raise ConfigurationError("n_threads must be positive")
     master = np.random.default_rng(seed)
-    mix = np.array(spec.type_mix())
-    type_ids = master.choice(len(spec.txn_types), size=n_threads, p=mix)
+    if spec.mix_phases:
+        # Phase-shifting mix: each contiguous arrival slice draws from
+        # its own phase weights, so the transaction mix changes mid-trace
+        # while the per-thread streams stay bit-deterministic by seed.
+        type_ids = np.empty(n_threads, dtype=np.int64)
+        for start, end, phase in spec.phase_slices(n_threads):
+            if end > start:
+                type_ids[start:end] = master.choice(
+                    len(spec.txn_types),
+                    size=end - start,
+                    p=np.array(phase.mix()),
+                )
+        nonzero = [
+            i
+            for i in range(len(spec.txn_types))
+            if any(phase.weights[i] > 0 for phase in spec.mix_phases)
+        ]
+    else:
+        mix = np.array(spec.type_mix())
+        type_ids = master.choice(len(spec.txn_types), size=n_threads, p=mix)
+        nonzero = [i for i, t in enumerate(spec.txn_types) if t.weight > 0]
     # Guarantee every type with nonzero weight appears at least once when
     # there is room: experiments slice per-type and an absent type would
     # silently produce empty series.
-    nonzero = [i for i, t in enumerate(spec.txn_types) if t.weight > 0]
     if n_threads >= len(nonzero):
         present = set(type_ids.tolist())
         missing = [t for t in nonzero if t not in present]
-        for slot, type_id in enumerate(missing):
-            type_ids[slot] = type_id
+        if spec.mix_phases:
+            # Inject only into arrival slots of a phase that actually
+            # schedules the type — injecting elsewhere would break the
+            # phase invariant (each slice draws from its own weights).
+            # A type whose positive-weight phases all rounded to empty
+            # slices stays absent: the schedule gave it no slots.
+            used: set[int] = set()
+            slices = spec.phase_slices(n_threads)
+            for type_id in missing:
+                slot = next(
+                    (
+                        s
+                        for start, end, phase in slices
+                        if phase.weights[type_id] > 0
+                        for s in range(start, end)
+                        if s not in used
+                    ),
+                    None,
+                )
+                if slot is not None:
+                    type_ids[slot] = type_id
+                    used.add(slot)
+        else:
+            for slot, type_id in enumerate(missing):
+                type_ids[slot] = type_id
 
     child_seeds = master.integers(0, 2**63 - 1, size=n_threads)
     threads = []
@@ -226,5 +267,6 @@ def generate_trace(
             "n_threads": n_threads,
             "footprint_blocks": spec.footprint_blocks(),
             "n_types": len(spec.txn_types),
+            "n_phases": len(spec.mix_phases),
         },
     )

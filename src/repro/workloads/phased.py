@@ -1,0 +1,37 @@
+"""Phase-shifting TPC-C variant (scenario extension beyond Table 1).
+
+Real OLTP mixes are not stationary: order entry dominates business
+hours, then reporting/fulfilment batches take over. This workload keeps
+TPC-C-1's code segments, transaction types and data shape but switches
+the transaction mix mid-trace (thread ids double as arrival order, so
+the second half of the arrival sequence *is* the second half of the
+run): an order-entry phase dominated by NewOrder/Payment, then a
+reporting phase dominated by OrderStatus/Delivery/StockLevel.
+
+The shift is the adversarial case for type-keyed scheduling — SLICC-SW
+teams built around the phase-1 hot types must dissolve and re-form
+around types that were nearly absent before — while the type-oblivious
+variants only see a change in which segments are hot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.params import ScalePreset
+from repro.workloads.spec import MixPhase, WorkloadSpec
+from repro.workloads.tpcc import make_tpcc
+
+#: Per-type weights (NewOrder, Payment, OrderStatus, Delivery,
+#: StockLevel) in each phase. Phase 1 is the standard entry-heavy TPC-C
+#: mix; phase 2 inverts it toward the read/fulfilment types.
+PHASE_SCHEDULE = (
+    MixPhase(duration_frac=0.5, weights=(45.0, 43.0, 4.0, 4.0, 4.0)),
+    MixPhase(duration_frac=0.5, weights=(4.0, 8.0, 32.0, 26.0, 30.0)),
+)
+
+
+def make_phased(scale: ScalePreset = ScalePreset.CI) -> WorkloadSpec:
+    """Build the phase-shifting TPC-C workload spec."""
+    base = make_tpcc(scale, warehouses=1)
+    return replace(base, name="phased", mix_phases=PHASE_SCHEDULE)

@@ -126,6 +126,40 @@ class DataSpec:
 
 
 @dataclass(frozen=True)
+class MixPhase:
+    """One phase of a time-varying transaction mix.
+
+    Thread ids double as arrival order, so a phase covers a contiguous
+    fraction of the arrival sequence: a workload with phases
+    ``(0.5, w_a), (0.5, w_b)`` switches its transaction mix mid-trace —
+    the shift that stresses any scheduler keyed to the observed mix
+    (SLICC's teams must dissolve and re-form around the new hot types).
+
+    Attributes:
+        duration_frac: fraction of the arrival sequence this phase spans
+            (all phases must sum to 1.0).
+        weights: per-type selection weights during the phase, aligned
+            with ``WorkloadSpec.txn_types``.
+    """
+
+    duration_frac: float
+    weights: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.duration_frac <= 0.0:
+            raise ConfigurationError("phase duration_frac must be positive")
+        if any(w < 0 for w in self.weights):
+            raise ConfigurationError("phase weights must be non-negative")
+        if sum(self.weights) <= 0:
+            raise ConfigurationError("phase needs a positive total weight")
+
+    def mix(self) -> list[float]:
+        """Normalised selection probabilities during this phase."""
+        total = sum(self.weights)
+        return [w / total for w in self.weights]
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
     """A complete benchmark description (Table 1 analogue)."""
 
@@ -136,6 +170,10 @@ class WorkloadSpec:
     #: Probability an individual block reference within a segment pass is
     #: skipped (fine-grain control-flow noise).
     block_skip_prob: float = 0.05
+    #: Optional phase schedule. Empty = stationary mix drawn from the
+    #: type weights; non-empty = the mix follows the phases over arrival
+    #: order (see :class:`MixPhase`).
+    mix_phases: tuple[MixPhase, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.txn_types:
@@ -152,11 +190,43 @@ class WorkloadSpec:
         total = sum(t.weight for t in self.txn_types)
         if total <= 0:
             raise ConfigurationError("total type weight must be positive")
+        for phase in self.mix_phases:
+            if len(phase.weights) != len(self.txn_types):
+                raise ConfigurationError(
+                    f"phase has {len(phase.weights)} weights for "
+                    f"{len(self.txn_types)} transaction types"
+                )
+        if self.mix_phases:
+            span = sum(p.duration_frac for p in self.mix_phases)
+            if abs(span - 1.0) > 1e-9:
+                raise ConfigurationError(
+                    f"phase duration fractions must sum to 1.0, got {span}"
+                )
 
     def type_mix(self) -> list[float]:
         """Normalised selection probabilities of the transaction types."""
         total = sum(t.weight for t in self.txn_types)
         return [t.weight / total for t in self.txn_types]
+
+    def phase_slices(self, n_threads: int) -> list[tuple[int, int, "MixPhase"]]:
+        """Partition ``n_threads`` arrival slots over the phase schedule.
+
+        Returns ``(start, end, phase)`` triples covering ``[0, n_threads)``
+        contiguously; the last phase absorbs rounding so every thread
+        belongs to exactly one phase. Empty for stationary workloads.
+        """
+        slices: list[tuple[int, int, MixPhase]] = []
+        start = 0
+        for i, phase in enumerate(self.mix_phases):
+            if i == len(self.mix_phases) - 1:
+                end = n_threads
+            else:
+                end = min(
+                    n_threads, start + round(phase.duration_frac * n_threads)
+                )
+            slices.append((start, end, phase))
+            start = end
+        return slices
 
     def footprint_blocks(self) -> int:
         """Total distinct instruction blocks across all segments."""

@@ -1,0 +1,123 @@
+"""Web-serving workload model (scenario extension beyond Table 1).
+
+Front-end serving tiers share the OLTP pathology the paper targets —
+an instruction footprint several times the L1-I — but with a different
+shape: **many short handler threads** (one per request) and **high
+instruction-footprint churn**. A request runs its route handler once,
+touches the shared middleware (parse, TLS, allocator, response cache,
+logging) once, and exits; there is almost no intra-thread segment
+revisiting, so nearly all instruction reuse is *inter-thread* — exactly
+the component SLICC harvests and STEPS-style batching misses.
+
+Modelled as eight route handlers with the skewed popularity of a real
+access log, one private entry segment per route (type-distinct entry
+code, so scout-based type detection still works) over five shared
+middleware segments. Paths are short and ``inner_iterations=1``
+throughout — the churn knob. The data stream is read-mostly (15%
+stores): small per-request private state, a hot shared session/response
+cache, and a cold stream of request/response body blocks.
+"""
+
+from __future__ import annotations
+
+from repro.params import ScalePreset
+from repro.workloads.spec import (
+    DataSpec,
+    PathStep,
+    TransactionTypeSpec,
+    WorkloadSpec,
+    layout_segments,
+)
+
+#: Segment name -> index. M* are shared middleware; H* are per-route
+#: handlers.
+_SEGMENTS = {
+    "M0_parse": 0,
+    "M1_tls": 1,
+    "M2_alloc": 2,
+    "M3_cache": 3,
+    "M4_log": 4,
+    "H0_home": 5,
+    "H1_api_list": 6,
+    "H2_api_item": 7,
+    "H3_search": 8,
+    "H4_static": 9,
+    "H5_auth": 10,
+    "H6_upload": 11,
+    "H7_admin": 12,
+}
+
+#: (route, weight %) — skewed route popularity.
+_ROUTES = (
+    ("home", 28.0),
+    ("api_list", 18.0),
+    ("api_item", 14.0),
+    ("search", 10.0),
+    ("static", 12.0),
+    ("auth", 8.0),
+    ("upload", 4.0),
+    ("admin", 6.0),
+)
+
+#: Blocks per segment. 13 segments x 320 blocks = 260KB at CI scale
+#: (several L1-I of footprint); even at smoke the 39KB total exceeds one
+#: 32KB L1-I, so churn effects are visible in the unit-test tier.
+_SEGMENT_BLOCKS = {
+    ScalePreset.SMOKE: 48,
+    ScalePreset.CI: 320,
+    ScalePreset.PAPER: 320,
+}
+
+
+def _path(steps: list[tuple[str, float]]) -> tuple[PathStep, ...]:
+    # inner_iterations=1 everywhere: a handler runs once per request —
+    # the high-churn property this workload exists to model.
+    return tuple(
+        PathStep(seg_id=_SEGMENTS[name], probability=prob, inner_iterations=1)
+        for name, prob in steps
+    )
+
+
+def make_webserve(scale: ScalePreset = ScalePreset.CI) -> WorkloadSpec:
+    """Build the web-serving workload spec."""
+    seg_blocks = _SEGMENT_BLOCKS[scale]
+    segments = layout_segments([seg_blocks] * len(_SEGMENTS))
+
+    txn_types = tuple(
+        TransactionTypeSpec(
+            type_id=type_id,
+            name=route.capitalize(),
+            weight=weight,
+            path=_path(
+                [
+                    # Private entry first (type-distinctive), then the
+                    # shared middleware walk; one optional handler
+                    # revisit models template/serialisation code.
+                    (f"H{type_id}_{route}", 1.0),
+                    ("M1_tls", 0.7),
+                    ("M0_parse", 1.0),
+                    ("M2_alloc", 1.0),
+                    ("M3_cache", 1.0),
+                    (f"H{type_id}_{route}", 0.5),
+                    ("M4_log", 1.0),
+                ]
+            ),
+        )
+        for type_id, (route, weight) in enumerate(_ROUTES)
+    )
+
+    data = DataSpec(
+        accesses_per_iblock=0.50,
+        hot_private_blocks=4,
+        shared_hot_blocks=128,
+        hot_private_frac=0.30,
+        shared_frac=0.25,
+        store_frac=0.15,
+        private_region_blocks=8192,
+    )
+    return WorkloadSpec(
+        name="webserve",
+        segments=tuple(segments),
+        txn_types=txn_types,
+        data=data,
+    )

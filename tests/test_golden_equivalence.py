@@ -35,6 +35,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
 from dump_golden import (  # noqa: E402
     GOLDEN_CONFIGS,
     GOLDEN_SEED,
+    GOLDEN_VARIANT_WORKLOADS,
     GOLDEN_WORKLOADS,
 )
 
@@ -43,14 +44,14 @@ from dump_golden import (  # noqa: E402
 def golden_traces():
     return {
         workload: standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
-        for workload in GOLDEN_WORKLOADS
+        for workload in GOLDEN_WORKLOADS + GOLDEN_VARIANT_WORKLOADS
     }
 
 
 def test_every_variant_has_a_fixture():
     expected = {
         f"{workload}__{variant}.json"
-        for workload in GOLDEN_WORKLOADS
+        for workload in GOLDEN_WORKLOADS + GOLDEN_VARIANT_WORKLOADS
         for variant in VARIANTS
     } | {
         f"{workload}__cfg-{name}.json"
@@ -62,7 +63,9 @@ def test_every_variant_has_a_fixture():
 
 
 @pytest.mark.parametrize("variant", VARIANTS)
-@pytest.mark.parametrize("workload", GOLDEN_WORKLOADS)
+@pytest.mark.parametrize(
+    "workload", GOLDEN_WORKLOADS + GOLDEN_VARIANT_WORKLOADS
+)
 def test_byte_identical_to_seed_engine(golden_traces, workload, variant):
     golden = (GOLDEN_DIR / f"{workload}__{variant}.json").read_text().strip()
     result = simulate(golden_traces[workload], variant=variant)

@@ -1,0 +1,180 @@
+"""Tests for the scenario-extension workloads: webserve and phased.
+
+Covers the ISSUE-4 requirements: determinism by seed, and shape
+assertions on the instruction footprint (webserve churn) and the
+transaction mix (phased mid-trace shift).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.params import ScalePreset
+from repro.workloads import (
+    KIND_INSTR,
+    KIND_STORE,
+    MixPhase,
+    generate_trace,
+    get_workload,
+    standard_trace,
+)
+from repro.workloads.phased import PHASE_SCHEDULE
+
+
+def _reuse_factor(trace) -> float:
+    """Mean instruction-record count per distinct instruction block —
+    low means churn (each block fetched few times per thread)."""
+    records = 0
+    distinct = set()
+    for thread in trace.threads:
+        instr = thread.addr[thread.kind == KIND_INSTR]
+        records += len(instr)
+        distinct.update(int(b) for b in np.unique(instr))
+    return records / len(distinct)
+
+
+class TestWebserve:
+    def test_deterministic_by_seed(self):
+        a = standard_trace("webserve", ScalePreset.SMOKE, seed=13)
+        b = standard_trace("webserve", ScalePreset.SMOKE, seed=13)
+        for ta, tb in zip(a.threads, b.threads):
+            assert np.array_equal(ta.addr, tb.addr)
+            assert np.array_equal(ta.kind, tb.kind)
+        c = standard_trace("webserve", ScalePreset.SMOKE, seed=14)
+        assert any(
+            not np.array_equal(ta.addr, tc.addr)
+            for ta, tc in zip(a.threads, c.threads)
+        )
+
+    def test_footprint_exceeds_one_l1_even_at_smoke(self):
+        for scale in (ScalePreset.SMOKE, ScalePreset.CI):
+            spec = get_workload("webserve", scale)
+            assert spec.footprint_blocks() > 512  # > one 32KB L1-I
+
+    def test_many_short_handler_types(self):
+        spec = get_workload("webserve", ScalePreset.CI)
+        assert len(spec.txn_types) == 8
+        # "Short handler" = single-pass segments, no inner-loop reuse.
+        for txn in spec.txn_types:
+            assert all(step.inner_iterations == 1 for step in txn.path)
+            assert len(txn.path) <= 8
+
+    def test_type_distinct_entry_segments(self):
+        spec = get_workload("webserve", ScalePreset.CI)
+        entries = {t.path[0].seg_id for t in spec.txn_types}
+        assert len(entries) == len(spec.txn_types)
+
+    def test_higher_churn_than_tpcc(self):
+        """The workload's reason to exist: far less per-block reuse than
+        the loopy OLTP instruction streams."""
+        web = standard_trace("webserve", ScalePreset.SMOKE, seed=3)
+        tpcc = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=3)
+        assert _reuse_factor(web) < 0.5 * _reuse_factor(tpcc)
+
+    def test_read_mostly_data_stream(self):
+        trace = standard_trace("webserve", ScalePreset.SMOKE, seed=5)
+        stores = sum(int((t.kind == KIND_STORE).sum()) for t in trace.threads)
+        data = sum(int((t.kind != KIND_INSTR).sum()) for t in trace.threads)
+        assert data > 0
+        assert stores / data < 0.25  # spec pins 15%
+
+
+class TestPhased:
+    def test_deterministic_by_seed(self):
+        a = standard_trace("phased", ScalePreset.SMOKE, seed=21)
+        b = standard_trace("phased", ScalePreset.SMOKE, seed=21)
+        for ta, tb in zip(a.threads, b.threads):
+            assert ta.txn_type == tb.txn_type
+            assert np.array_equal(ta.addr, tb.addr)
+            assert np.array_equal(ta.kind, tb.kind)
+
+    def test_shares_tpcc_code_segments(self):
+        phased = get_workload("phased", ScalePreset.CI)
+        tpcc = get_workload("tpcc-1", ScalePreset.CI)
+        assert phased.segments == tpcc.segments
+        assert [t.name for t in phased.txn_types] == [
+            t.name for t in tpcc.txn_types
+        ]
+
+    def test_mix_shifts_mid_trace(self):
+        spec = get_workload("phased", ScalePreset.SMOKE)
+        trace = generate_trace(spec, n_threads=60, seed=3)
+        types = [t.txn_type for t in trace.threads]
+        first, second = types[:30], types[30:]
+        entry_heavy = {0, 1}  # NewOrder, Payment
+        assert sum(t in entry_heavy for t in first) / len(first) > 0.6
+        assert sum(t not in entry_heavy for t in second) / len(second) > 0.6
+
+    def test_phase_slices_cover_all_threads(self):
+        spec = get_workload("phased", ScalePreset.SMOKE)
+        for n in (1, 2, 7, 48):
+            slices = spec.phase_slices(n)
+            assert slices[0][0] == 0 and slices[-1][1] == n
+            for (_, a_end, _), (b_start, _, _) in zip(slices, slices[1:]):
+                assert a_end == b_start
+
+    def test_missing_type_injection_respects_phase_schedule(self):
+        """A type scheduled only in one phase must never be force-injected
+        into a phase whose weight for it is zero."""
+        from dataclasses import replace
+
+        base = get_workload("tpcc-1", ScalePreset.SMOKE)
+        spec = replace(
+            base,
+            mix_phases=(
+                MixPhase(0.95, (1.0, 1.0, 1.0, 1.0, 0.0)),
+                MixPhase(0.05, (0.0, 0.0, 0.0, 0.0, 1.0)),
+            ),
+        )
+        # Phase 2 rounds to an empty slice: type 4 has no slot, so it
+        # stays absent rather than landing inside phase 1.
+        trace = generate_trace(spec, n_threads=10, seed=1)
+        assert all(t.txn_type != 4 for t in trace.threads)
+        # With enough threads the phase-2 slice exists and type 4 only
+        # ever appears there.
+        trace = generate_trace(spec, n_threads=40, seed=1)
+        slices = spec.phase_slices(40)
+        phase2_start = slices[1][0]
+        for thread in trace.threads:
+            if thread.txn_type == 4:
+                assert thread.thread_id >= phase2_start
+        assert any(t.txn_type == 4 for t in trace.threads)
+
+    def test_phase_metadata_recorded(self):
+        trace = standard_trace("phased", ScalePreset.SMOKE, seed=1)
+        assert trace.metadata["n_phases"] == len(PHASE_SCHEDULE)
+        assert standard_trace(
+            "tpcc-1", ScalePreset.SMOKE, seed=1
+        ).metadata["n_phases"] == 0
+
+
+class TestMixPhaseValidation:
+    def test_weights_must_match_type_count(self):
+        spec = get_workload("tpcc-1", ScalePreset.SMOKE)
+        from dataclasses import replace
+
+        with pytest.raises(ConfigurationError):
+            replace(spec, mix_phases=(MixPhase(1.0, (1.0, 2.0)),))
+
+    def test_durations_must_sum_to_one(self):
+        spec = get_workload("tpcc-1", ScalePreset.SMOKE)
+        from dataclasses import replace
+
+        phases = (
+            MixPhase(0.5, (1.0, 1.0, 1.0, 1.0, 1.0)),
+            MixPhase(0.3, (1.0, 1.0, 1.0, 1.0, 1.0)),
+        )
+        with pytest.raises(ConfigurationError):
+            replace(spec, mix_phases=phases)
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixPhase(0.0, (1.0,))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixPhase(1.0, (1.0, -0.5))
+
+    def test_zero_total_weight_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MixPhase(1.0, (0.0, 0.0))

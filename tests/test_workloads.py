@@ -55,8 +55,15 @@ class TestSpecValidation:
 
 
 class TestStandardWorkloads:
-    def test_four_workloads_available(self):
-        assert workload_names() == ["tpcc-1", "tpcc-10", "tpce", "mapreduce"]
+    def test_registered_workloads_in_order(self):
+        assert workload_names() == [
+            "tpcc-1",
+            "tpcc-10",
+            "tpce",
+            "mapreduce",
+            "webserve",
+            "phased",
+        ]
 
     def test_unknown_workload_raises(self):
         with pytest.raises(ConfigurationError):
