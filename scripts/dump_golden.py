@@ -40,6 +40,14 @@ GOLDEN_SEED = 7
 #: on the OLTP pair.
 GOLDEN_VARIANT_WORKLOADS = ("webserve", "phased")
 
+#: Extension scheduling policies (PR 5), pinned on the canonical OLTP
+#: trace plus the mix-shifting workload their semantics target. These
+#: pins freeze the quantum-boundary decision semantics of the
+#: registry-only policies exactly as the variant grid freezes the
+#: paper's seven.
+GOLDEN_POLICIES = ("tmi", "affinity", "random-migrate")
+GOLDEN_POLICY_WORKLOADS = ("tpcc-1", "phased")
+
 #: Config pins beyond the plain variants: every fallback trigger of the
 #: pre-PR-3 engine (next-line prefetcher, miss classifiers, banked NUCA,
 #: migration data prefetcher) alone and in combination, so the PR 3
@@ -76,8 +84,8 @@ def golden_dir() -> Path:
     return Path(__file__).resolve().parent.parent / "tests" / "golden"
 
 
-def _dump_variants(trace, workload: str, out: Path) -> None:
-    for variant in VARIANTS:
+def _dump_variants(trace, workload: str, out: Path, variants=VARIANTS) -> None:
+    for variant in variants:
         result = simulate(trace, variant=variant)
         path = out / f"{workload}__{variant}.json"
         path.write_text(result_to_json(result) + "\n")
@@ -107,6 +115,9 @@ def main(argv: list[str] | None = None) -> int:
     for workload in GOLDEN_VARIANT_WORKLOADS:
         trace = standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
         _dump_variants(trace, workload, out)
+    for workload in GOLDEN_POLICY_WORKLOADS:
+        trace = standard_trace(workload, ScalePreset.SMOKE, seed=GOLDEN_SEED)
+        _dump_variants(trace, workload, out, variants=GOLDEN_POLICIES)
     return 0
 
 

@@ -23,6 +23,7 @@ from repro.errors import ConfigurationError
 from repro.exp.figures import Figure, FigureRow
 from repro.exp.metrics import METRICS
 from repro.exp.store import ResultStore
+from repro.sched import policy_descriptions
 from repro.sim.results import SimulationResult
 
 #: Metrics whose baseline-relative delta column is meaningful (counters
@@ -165,6 +166,19 @@ def write_index(
             f"| [{figure.name}]({figure.name}.md) | {figure.title} "
             f"| {n_rows} |"
         )
+    # The variant column of every table refers to a registered
+    # scheduling policy; render the registry so the report is
+    # self-describing (and so a report generated against a newer
+    # registry documents exactly what it swept).
+    lines += [
+        "",
+        "## Scheduling policies",
+        "",
+        "| variant | model |",
+        "| --- | --- |",
+    ]
+    for name, description in policy_descriptions().items():
+        lines.append(f"| `{name}` | {description} |")
     lines.append("")
     path = out_dir / "index.md"
     path.write_text("\n".join(lines), encoding="utf-8")

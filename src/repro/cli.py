@@ -44,7 +44,8 @@ from repro.exp import (
     summarize,
 )
 from repro.params import ScalePreset
-from repro.sim import VARIANTS, SimConfig
+from repro.sched import policy_names
+from repro.sim import SimConfig
 from repro.workloads import (
     DEFAULT_THREADS,
     get_workload,
@@ -265,7 +266,13 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="simulate a workload under variants")
     _add_common(run)
     run.add_argument(
-        "--variants", nargs="+", choices=VARIANTS, default=["base", "slicc-sw"]
+        "--variants",
+        nargs="+",
+        # Derived from the scheduling-policy registry: a newly registered
+        # policy appears here (and in spec files, which validate through
+        # SimConfig) with no CLI edit.
+        choices=policy_names(),
+        default=["base", "slicc-sw"],
     )
     _add_exec(run)
     run.set_defaults(func=_cmd_run)

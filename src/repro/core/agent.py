@@ -16,9 +16,10 @@ tracking structures of Section 4.2:
   holding all of them is predicted to cache the next segment. Failing
   that, an idle core; failing that, stay put.
 
-The agent is deliberately engine-agnostic: the simulation engine feeds it
-access outcomes and presence vectors and interprets the returned
-:class:`MigrationDecision`.
+The agent is deliberately engine-agnostic: the replay loop feeds it
+access outcomes and presence vectors, and the SLICC scheduling policies
+(:mod:`repro.sched.legacy`) call :meth:`SliccAgent.decide` and interpret
+the returned :class:`MigrationDecision`.
 """
 
 from __future__ import annotations

@@ -28,6 +28,7 @@ from typing import Callable, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.exp.spec import ExperimentSpec, grid
 from repro.params import ScalePreset, SliccParams
+from repro.sched import policy_names
 from repro.sim.engine import SimConfig
 
 #: Seed every registry figure runs at (matches the golden-pin seed so
@@ -271,6 +272,34 @@ register_figure(
             scale,
             ("slicc", "slicc-sw", "slicc-pp"),
             workloads=("tpcc-1", "phased"),
+        ),
+        metrics=("I-MPKI", "D-MPKI", "migrations", "util"),
+    )
+)
+
+#: Workloads the policy-comparison figure spans: the canonical OLTP
+#: trace plus the two adversarial extensions, which is where alternative
+#: scheduling policies differentiate (churn defeats slow assembly, mix
+#: shift defeats static placement).
+POLICY_COMPARISON_WORKLOADS = ("tpcc-1", "webserve", "phased")
+
+register_figure(
+    Figure(
+        name="policy-comparison",
+        title="Extension: scheduling-policy comparison",
+        description=(
+            "Every policy in the scheduling registry — the paper's seven "
+            "variants plus the ablation extensions (tmi: fill-up-only "
+            "migration; affinity: static type placement; random-migrate: "
+            "SLICC-rate migration to random targets) — on tpcc-1, "
+            "webserve and phased, each against the per-workload base "
+            "run. The sweep is registry-driven: registering a policy "
+            "adds its rows."
+        ),
+        # The row list queries the registry at build time, so policies
+        # registered after this module's import are still swept.
+        builder=lambda scale: _per_workload_rows(
+            scale, policy_names(), workloads=POLICY_COMPARISON_WORKLOADS
         ),
         metrics=("I-MPKI", "D-MPKI", "migrations", "util"),
     )

@@ -30,19 +30,10 @@ from typing import Iterable, Mapping, Optional
 
 from repro.errors import ConfigurationError
 from repro.params import ScalePreset, SliccParams, SystemParams
-from repro.sim.engine import SLICC_VARIANTS, SimConfig
+from repro.sched import POLICY_GATED_FIELDS, get_policy
+from repro.sim.engine import SimConfig
 from repro.workloads import workload_names
 from repro.workloads.trace import Trace
-
-#: SimConfig fields that only influence results for migrating variants
-#: (the engine ignores them when no SLICC agents exist); canonicalised
-#: to their defaults for other variants so equivalent runs share a key.
-_SLICC_ONLY_FIELDS = (
-    "work_stealing",
-    "steal_min_depth",
-    "steal_resets_mc",
-    "data_prefetch_n",
-)
 
 _DEFAULT_CONFIG = SimConfig()
 
@@ -128,15 +119,21 @@ class ExperimentSpec:
 
     def canonical_config(self) -> SimConfig:
         """``config`` with fields the engine ignores for this variant
-        reset to their defaults, so equivalent runs share one key."""
+        reset to their defaults, so equivalent runs share one key.
+
+        Which fields a variant reads is declared by its scheduling
+        policy (:attr:`repro.sched.SchedulingPolicy.relevant_fields`),
+        so a policy that migrates without SLICC's machinery (``tmi``,
+        ``random-migrate``) keeps its steal/prefetch knobs in the key
+        instead of silently colliding with its own sweeps.
+        """
         config = self.config
-        overrides = {}
-        if config.variant not in SLICC_VARIANTS:
-            for name in _SLICC_ONLY_FIELDS:
-                overrides[name] = getattr(_DEFAULT_CONFIG, name)
-            if config.variant != "steps":
-                # Only SLICC and STEPS read the threshold parameters.
-                overrides["slicc"] = _DEFAULT_CONFIG.slicc
+        relevant = get_policy(config.variant).relevant_fields
+        overrides = {
+            name: getattr(_DEFAULT_CONFIG, name)
+            for name in POLICY_GATED_FIELDS
+            if name not in relevant
+        }
         return replace(config, **overrides) if overrides else config
 
     def trace_key(self) -> str:

@@ -1,0 +1,39 @@
+"""Pluggable scheduling policies for the replay engine.
+
+Importing this package registers the paper's seven variants
+(:mod:`repro.sched.legacy`) and the scenario-extension policies
+(:mod:`repro.sched.extensions`); :func:`policy_names` is the
+authoritative variant list everywhere — engine validation, CLI choices,
+spec files and the ``policy-comparison`` figure all derive from it.
+"""
+
+from repro.sched.base import (
+    MIGRATION_FIELDS,
+    POLICY_GATED_FIELDS,
+    SchedulingPolicy,
+)
+from repro.sched.registry import (
+    get_policy,
+    has_policy,
+    policy_descriptions,
+    policy_names,
+    register_policy,
+)
+
+# Importing the policy modules is what populates the registry; legacy
+# first so policy_names() lists the paper's variants before extensions.
+from repro.sched import legacy  # noqa: E402,F401  isort: skip
+from repro.sched import extensions  # noqa: E402,F401  isort: skip
+from repro.sched.legacy import STEPS_SWITCH_CYCLES
+
+__all__ = [
+    "MIGRATION_FIELDS",
+    "POLICY_GATED_FIELDS",
+    "STEPS_SWITCH_CYCLES",
+    "SchedulingPolicy",
+    "get_policy",
+    "has_policy",
+    "policy_descriptions",
+    "policy_names",
+    "register_policy",
+]

@@ -1,4 +1,9 @@
-"""Simulation engine: machine model, timing, replay loop, results."""
+"""Simulation engine: machine model, timing, replay loop, results.
+
+``VARIANTS``/``SLICC_VARIANTS`` are deprecated compatibility re-exports
+(the paper's original seven); the authoritative, growing variant list is
+the scheduling-policy registry — ``repro.sched.policy_names()``.
+"""
 
 from repro.sim.engine import (
     SLICC_VARIANTS,

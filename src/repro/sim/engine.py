@@ -1,7 +1,8 @@
 """Trace-replay simulation engine.
 
 Replays a :class:`repro.workloads.trace.Trace` on a :class:`Machine`
-under one of six variants:
+under one *scheduling policy* (``SimConfig.variant`` names it). Policies
+live in the :mod:`repro.sched` registry — the paper's seven variants:
 
 ======================  =====================================================
 ``base``                OS-style static scheduling, no migration (Section 5.1)
@@ -12,6 +13,13 @@ under one of six variants:
 ``slicc-pp``            SLICC + scout-core preamble type detection
 ``steps``               STEPS-style same-core time-multiplexing (Section 6)
 ======================  =====================================================
+
+plus the scenario extensions (``tmi``, ``affinity``, ``random-migrate``
+— see :mod:`repro.sched.extensions`). The engine owns the mechanism
+(caches, queues, agents, the replay loop); the policy object declares
+which machinery to build and makes the scheduling decisions, only at
+quantum boundaries and scheduling events — the per-record hot path
+stays policy-free (see DESIGN.md's policy-subsystem section).
 
 Scheduling model: every core has a local cycle clock and a FIFO thread
 queue; an event heap always advances the core that is earliest in time,
@@ -35,19 +43,28 @@ from typing import NamedTuple, Optional
 from repro.cache.classify import MissClass, MissClassifier
 from repro.cache.policies.base import ReplacementPolicy
 from repro.cache.policies.lru import LruPolicy
-from repro.core.agent import MigrationReason, SliccAgent
+from repro.core.agent import SliccAgent
 from repro.core.scheduler import ThreadQueues
-from repro.core.txn_types import PreambleTypeDetector, SoftwareTypeOracle
+from repro.core.txn_types import PreambleTypeDetector
 from repro.errors import ConfigurationError, SimulationError
 from repro.params import SliccParams, SystemParams
 from repro.prefetch.nextline import NextLinePrefetcher
-from repro.prefetch.pif import pif_l1i_params
+from repro.sched import (
+    STEPS_SWITCH_CYCLES,  # noqa: F401  (compat re-export; lives in sched)
+    SchedulingPolicy,
+    get_policy,
+    has_policy,
+    policy_names,
+)
 from repro.sim.machine import Machine
 from repro.sim.results import SimulationResult
 from repro.sim.timing import TimingModel
 from repro.sim.tlb import PAGE_SHIFT
 from repro.workloads.trace import KIND_INSTR, KIND_STORE, Trace
 
+#: Deprecated: the paper's original seven variants, frozen here for
+#: compatibility (golden grids, older callers). The authoritative —
+#: growing — list is the policy registry: ``repro.sched.policy_names()``.
 VARIANTS = (
     "base",
     "nextline",
@@ -58,15 +75,13 @@ VARIANTS = (
     "steps",
 )
 
-#: Variants that migrate threads.
+#: Deprecated: the paper's variants that migrate threads. Policy classes
+#: now carry this as the ``migrates`` capability flag.
 SLICC_VARIANTS = ("slicc", "slicc-sw", "slicc-pp")
 
-#: Variants that use team scheduling.
+#: Deprecated: the paper's variants that use team scheduling (the
+#: ``team_scheduling`` policy flag, minus STEPS).
 TEAM_VARIANTS = ("slicc-sw", "slicc-pp")
-
-#: Cycles charged per STEPS context switch (Harizopoulos & Ailamaki report
-#: a hand-optimised switch far cheaper than an OS one).
-STEPS_SWITCH_CYCLES = 24
 
 #: Cycles of L2 bandwidth charged per block shipped by the migration data
 #: prefetcher (Section 5.5's mitigation experiment).
@@ -123,9 +138,9 @@ class SimConfig:
     model_l2_capacity: bool = False
 
     def __post_init__(self) -> None:
-        if self.variant not in VARIANTS:
+        if not has_policy(self.variant):
             raise ConfigurationError(
-                f"unknown variant {self.variant!r}; known: {VARIANTS}"
+                f"unknown variant {self.variant!r}; known: {policy_names()}"
             )
         if self.quantum <= 0:
             raise ConfigurationError("quantum must be positive")
@@ -236,14 +251,18 @@ class ReplayEngine:
         self.timing_base = system
 
         variant = config.variant
-        self.is_slicc = variant in SLICC_VARIANTS
-        self.has_teams = variant in TEAM_VARIANTS
+        # The policy object carries all variant-specific capability flags
+        # and decisions; the engine attributes below mirror its flags so
+        # the construction and hot-loop code reads the same as before.
+        policy_cls = get_policy(variant)
+        self.policy: SchedulingPolicy = policy_cls(config)
+        self.is_slicc = self.policy.slicc_machinery
         # STEPS (Section 6): time-multiplex similar threads on one core,
         # context-switching when the running thread leaves the cached
         # chunk (dilution), instead of migrating between cores.
-        self.is_steps = variant == "steps"
+        self.is_steps = self.policy.time_multiplexes
 
-        l1i_params = pif_l1i_params(system.l1i) if variant == "pif" else None
+        l1i_params = policy_cls.l1i_params(system)
         self.machine = Machine(
             system,
             slicc=config.slicc if self.is_slicc else None,
@@ -255,7 +274,7 @@ class ReplayEngine:
 
         n = system.n_cores
         # SLICC-Pp dedicates the last core to preamble scouting.
-        if variant == "slicc-pp":
+        if self.policy.scout_core:
             self.worker_cores = list(range(n - 1))
         else:
             self.worker_cores = list(range(n))
@@ -278,7 +297,7 @@ class ReplayEngine:
             ]
 
         self.data_prefetcher = None
-        if config.data_prefetch_n > 0 and self.is_slicc:
+        if config.data_prefetch_n > 0 and self.policy.migrates:
             from repro.prefetch.migration_data import MigrationDataPrefetcher
 
             self.data_prefetcher = MigrationDataPrefetcher(
@@ -293,16 +312,10 @@ class ReplayEngine:
         # dynamic team formation needs a deep standing pool to group
         # from). Types too small to earn 2 cores pool into a shared
         # region and behave like the paper's stray threads.
-        self.type_source = None
+        self.type_source = self.policy.make_type_source()
         self._partition: Optional[dict[int, frozenset[int]]] = None
         self._thread_type_key: dict[int, int] = {}
-        if self.has_teams or self.is_steps:
-            # STEPS groups same-type threads onto the same cores too (its
-            # teams run on one core each, time-multiplexed).
-            if variant == "slicc-pp":
-                self.type_source = PreambleTypeDetector()
-            else:
-                self.type_source = SoftwareTypeOracle()
+        if self.type_source is not None:
             counts: dict[int, int] = {}
             for thread in trace.threads:
                 key = self.type_source.type_of(thread)
@@ -321,7 +334,7 @@ class ReplayEngine:
             }
 
         self.prefetchers: Optional[list[NextLinePrefetcher]] = None
-        if variant == "nextline":
+        if self.policy.nextline_prefetch:
             self.prefetchers = []
             for core in range(n):
                 pf = NextLinePrefetcher(self.machine.l1i[core])
@@ -385,7 +398,7 @@ class ReplayEngine:
         # queued per core to multiplex between.
         pool_factor = (
             config.slicc.thread_pool_factor
-            if (self.is_slicc or self.is_steps)
+            if (self.policy.migrates or self.is_steps)
             else 1
         )
         self.pool_size = pool_factor * len(self.worker_cores)
@@ -405,7 +418,7 @@ class ReplayEngine:
 
         # Work-stealing knobs, resolved once (the _rebalance early-out
         # runs on every migration and completion).
-        self._steal_enabled = self.is_slicc and config.work_stealing
+        self._steal_enabled = self.policy.migrates and config.work_stealing
         self._steal_min_depth = config.steal_min_depth
         self._steal_resets_mc = config.steal_resets_mc
 
@@ -430,6 +443,24 @@ class ReplayEngine:
         # the lifetime of the run: policies, stat blocks, TLB maps and
         # tracker objects are mutated in place, never rebound.
         self._core_hot = [self._build_core_hot(core) for core in range(n)]
+
+        # Policy attachment: the policy allocates its per-run state
+        # against the fully built machine, and its decision entry points
+        # are bound as engine attributes so the replay loop dispatches
+        # through one bound-method call exactly as before the extraction.
+        policy = self.policy
+        policy.bind(self)
+        self._evaluate_migration = policy.evaluate_migration
+        self._steps_switch = policy.context_switch
+        policy_type = type(policy)
+        self._policy_on_start = (
+            policy_type.on_thread_start
+            is not SchedulingPolicy.on_thread_start
+        )
+        self._policy_on_complete = (
+            policy_type.on_complete is not SchedulingPolicy.on_complete
+        )
+        self._policy_quantum_hook = policy.quantum_hook
 
     def _build_core_hot(self, core: int) -> "_CoreHot":
         machine = self.machine
@@ -626,15 +657,17 @@ class ReplayEngine:
         ]
 
     def _rebalance(self, now: int) -> None:
-        """Idle-core work stealing (SLICC variants only).
+        """Idle-core work stealing (migrating policies only — the SLICC
+        variants plus the tmi/random-migrate extensions).
 
         Same-type threads chase the same segment sequence, so they pile
         up in the queue of whichever core holds the next segment while
         other cores run dry. An idle core adopting the *tail* of the
-        deepest compatible queue keeps utilisation up; because a core
-        that drained its queue has already reset its MC
-        (:meth:`SliccAgent.on_queue_empty`), the stolen thread simply
-        loads its segment there without triggering bounce migrations.
+        deepest compatible queue keeps utilisation up; the
+        ``steal_resets_mc`` knob controls whether the stolen-to core
+        also unfreezes its fill path (see :class:`SimConfig` — this
+        engine deliberately does *not* reset the MC on queue drain, so
+        by default assembled segments survive steals).
         This implements the paper's stated scheduler goal of maximising
         core utilisation and reducing queuing delay (Section 4.3.2).
         """
@@ -660,10 +693,10 @@ class ReplayEngine:
             idle.remove(target)
             self.steals += 1
             if self._steal_resets_mc:
-                # The idle core adopts (replicates) the stolen thread's
-                # segment: hot chunks end up on several cores, spreading
-                # the convoy that forms behind popular code.
-                self.agents[target].mc.reset()
+                # The stealing core adopts (replicates) the stolen
+                # thread's segment — each policy resets its own fill
+                # tracker (the SLICC agents' MC, or policy-local state).
+                self.policy.on_steal(target)
             self.queues.enqueue(target, thread_id)
             self._activate(target, now)
 
@@ -812,28 +845,6 @@ class ReplayEngine:
                 return cycles, True
         return cycles, False
 
-    def _evaluate_migration(self, core: int, agent: SliccAgent) -> bool:
-        """Ask the agent for a migration target; stage it if one exists.
-
-        Returns True when a migration was staged in ``_pending_target``
-        (the caller must end the quantum and perform it).
-        """
-        thread_id = self.running[core]
-        allowed = self._allowed_for(thread_id)
-        decision = agent.decide(
-            self._idle_cores(),
-            allowed_cores=allowed,
-            nearest=lambda cands: self.machine.torus.nearest(core, cands),
-        )
-        if decision.target is not None:
-            if decision.reason is MigrationReason.IDLE_CORE:
-                # The idle core adopts the thread's new segment:
-                # unfreeze its fill path.
-                self.agents[decision.target].mc.reset()
-            self._pending_target = decision.target
-            return True
-        return False
-
     def _process_data(self, core: int, block: int, is_store: bool) -> int:
         """One data record; returns cycles charged.
 
@@ -889,25 +900,11 @@ class ReplayEngine:
         state.pending_cycles += cost
         self.cycles_migration += cost
         self.running[core] = None
-        agent = self.agents[core]
-        agent.on_thread_switch()
+        self.policy.on_migrate(core, target)
         self.migrations += 1
         self.queues.enqueue(target, thread_id)
         self._activate(target, self.clock[core])
         self._rebalance(self.clock[core])
-
-    def _steps_switch(self, core: int) -> None:
-        """STEPS context switch: requeue the running thread at the tail
-        of its own core's queue and charge the (fast) switch cost."""
-        thread_id = self.running[core]
-        if thread_id is None:
-            raise SimulationError("context switch with no running thread")
-        self.running[core] = None
-        self.clock[core] += STEPS_SWITCH_CYCLES
-        self.context_switches += 1
-        agent = self.steps_agents[core]
-        agent.msv.reset()
-        self.queues.enqueue(core, thread_id)
 
     def _complete(self, core: int, now: int) -> None:
         """The running thread of ``core`` finished all its records."""
@@ -917,8 +914,8 @@ class ReplayEngine:
         self.running[core] = None
         self.completed += 1
         self._resident -= 1
-        if self.agents is not None:
-            self.agents[core].on_thread_switch()
+        if self._policy_on_complete:
+            self.policy.on_complete(core)
         self._admit_threads(now)
         self._rebalance(now)
 
@@ -966,6 +963,14 @@ class ReplayEngine:
         nuca_ev = self._nuca_ev
         n_banks = machine.nuca.n_banks if machine.nuca is not None else 0
         core_hot = self._core_hot
+        # Policy hooks, resolved once: zero per-quantum overhead for
+        # policies without them (the legacy seven), one bound-method call
+        # per scheduling event for those with them. Nothing here is ever
+        # consulted per record.
+        policy_on_start = self._policy_on_start
+        policy_on_thread_start = self.policy.on_thread_start
+        policy_quantum = self._policy_quantum_hook
+        policy_quantum_end = self.policy.quantum_end
         KI = KIND_INSTR
         KS = KIND_STORE
         heappop = heapq.heappop
@@ -1017,10 +1022,11 @@ class ReplayEngine:
                     continue
                 running[core] = thread_id
                 state = threads[thread_id]
-                if self.agents is not None:
-                    self.agents[core].on_thread_switch()
-                if self.steps_agents is not None:
-                    self.steps_agents[core].msv.reset()
+                if policy_on_start:
+                    # SLICC resets the dispatched core's MSV/MTQ, STEPS
+                    # its MSV — per-thread trackers do not survive a
+                    # thread switch (the MC, describing the cache, does).
+                    policy_on_thread_start(core)
                 if state.pending_cycles:
                     clocks[core] += state.pending_cycles
                     state.pending_cycles = 0
@@ -1671,6 +1677,13 @@ class ReplayEngine:
                     self._migrate(core, self._pending_target)
             elif state.pos >= n_records:
                 self._complete(core, clocks[core])
+            elif policy_quantum:
+                # Extension policies decide at quantum boundaries only
+                # (their per-record cost is zero: they read the batched
+                # L1-I statistics flushed just above).
+                target = policy_quantum_end(core)
+                if target is not None:
+                    self._migrate(core, target)
 
             if running[core] is not None or not queues_is_empty(core):
                 self._activate(core, clocks[core])
@@ -1743,6 +1756,7 @@ class ReplayEngine:
                 "instruction": self._class_mpki(self.i_classifiers, instructions),
                 "data": self._class_mpki(self.d_classifiers, instructions),
             }
+        self.policy.contribute_stats(result)
         return result
 
     @staticmethod

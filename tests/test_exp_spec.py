@@ -71,6 +71,36 @@ class TestSpecIdentity:
         assert a.key() != b.key()
         assert a.key() == c.key()
 
+    @pytest.mark.parametrize("variant", ["tmi", "random-migrate"])
+    def test_migrating_extensions_keep_migration_knobs_in_key(self, variant):
+        """tmi/random-migrate migrate without SLICC's machinery; their
+        relevant_fields declaration must keep the steal/threshold knobs
+        in the cache key so sweeps do not collide on store keys."""
+        plain = ExperimentSpec("tpcc-1", config=SimConfig(variant=variant))
+        for tweaked_config in (
+            SimConfig(variant=variant, slicc=SliccParams(fill_up_t=64)),
+            SimConfig(variant=variant, steal_min_depth=9),
+            SimConfig(variant=variant, work_stealing=False),
+            SimConfig(variant=variant, data_prefetch_n=4),
+        ):
+            tweaked = ExperimentSpec("tpcc-1", config=tweaked_config)
+            assert plain.key() != tweaked.key(), tweaked_config
+
+    def test_affinity_canonicalises_all_migration_knobs(self):
+        """affinity never migrates, so neither the slicc thresholds nor
+        the steal knobs may fragment its cache key."""
+        plain = ExperimentSpec("tpcc-1", config=SimConfig(variant="affinity"))
+        tweaked = ExperimentSpec(
+            "tpcc-1",
+            config=SimConfig(
+                variant="affinity",
+                slicc=SliccParams(dilution_t=25),
+                steal_min_depth=9,
+                data_prefetch_n=4,
+            ),
+        )
+        assert plain.key() == tweaked.key()
+
     def test_bad_scale_rejected_eagerly(self):
         with pytest.raises(ConfigurationError):
             ExperimentSpec("tpcc-1", scale="galactic")

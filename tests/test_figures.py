@@ -28,6 +28,7 @@ EXPECTED_FIGURES = [
     "fig11-speedup",
     "webserve-churn",
     "phase-robustness",
+    "policy-comparison",
 ]
 
 
@@ -80,6 +81,23 @@ class TestRegistry:
         keys = {spec.key() for spec in figure.specs("smoke")}
         assert {row.spec.key() for row in rows} <= keys
         assert {row.baseline.key() for row in rows} <= keys
+
+    def test_policy_comparison_sweeps_the_whole_registry(self):
+        """The policy-comparison figure is registry-driven: one row per
+        registered policy per workload, so a newly registered policy is
+        swept without a figure edit."""
+        from repro.exp.figures import POLICY_COMPARISON_WORKLOADS
+        from repro.sched import policy_names
+
+        rows = get_figure("policy-comparison").build("smoke")
+        swept = {(row.spec.workload, row.spec.variant) for row in rows}
+        assert swept == {
+            (workload, policy)
+            for workload in POLICY_COMPARISON_WORKLOADS
+            for policy in policy_names()
+        }
+        for row in rows:
+            assert row.baseline is not None
 
 
 @pytest.fixture(scope="module")

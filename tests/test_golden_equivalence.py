@@ -34,6 +34,8 @@ GOLDEN_DIR = Path(__file__).parent / "golden"
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "scripts"))
 from dump_golden import (  # noqa: E402
     GOLDEN_CONFIGS,
+    GOLDEN_POLICIES,
+    GOLDEN_POLICY_WORKLOADS,
     GOLDEN_SEED,
     GOLDEN_VARIANT_WORKLOADS,
     GOLDEN_WORKLOADS,
@@ -57,6 +59,10 @@ def test_every_variant_has_a_fixture():
         f"{workload}__cfg-{name}.json"
         for workload in GOLDEN_WORKLOADS
         for name, _ in GOLDEN_CONFIGS
+    } | {
+        f"{workload}__{policy}.json"
+        for workload in GOLDEN_POLICY_WORKLOADS
+        for policy in GOLDEN_POLICIES
     }
     present = {p.name for p in GOLDEN_DIR.glob("*.json")}
     assert expected <= present, f"missing fixtures: {expected - present}"
@@ -81,4 +87,15 @@ def test_config_pins_byte_identical(golden_traces, workload, name, kwargs):
     PR 3 inline fast paths cannot drift from the reference semantics."""
     golden = (GOLDEN_DIR / f"{workload}__cfg-{name}.json").read_text().strip()
     result = simulate(golden_traces[workload], config=SimConfig(**kwargs))
+    assert result_to_json(result) == golden
+
+
+@pytest.mark.parametrize("policy", GOLDEN_POLICIES)
+@pytest.mark.parametrize("workload", GOLDEN_POLICY_WORKLOADS)
+def test_extension_policies_byte_identical(golden_traces, workload, policy):
+    """The extension scheduling policies (PR 5) are pinned like the
+    paper's variants: their quantum-boundary decision semantics — and
+    random-migrate's fixed-seed RNG — must stay deterministic."""
+    golden = (GOLDEN_DIR / f"{workload}__{policy}.json").read_text().strip()
+    result = simulate(golden_traces[workload], variant=policy)
     assert result_to_json(result) == golden
