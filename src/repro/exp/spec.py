@@ -134,6 +134,11 @@ class ExperimentSpec:
             for name in POLICY_GATED_FIELDS
             if name not in relevant
         }
+        if config.kernel != _DEFAULT_CONFIG.kernel:
+            # The replay kernel (batch/inline/fallback) never affects
+            # results — all kernels are pinned byte-identical — so it
+            # must not fragment the result store.
+            overrides["kernel"] = _DEFAULT_CONFIG.kernel
         return replace(config, **overrides) if overrides else config
 
     def trace_key(self) -> str:
@@ -151,10 +156,15 @@ class ExperimentSpec:
 
     def key(self) -> str:
         """Content hash identifying this experiment's result."""
+        config_dict = asdict(self.canonical_config())
+        # Result-neutral fields are dropped from the hash entirely so
+        # keys stay stable across engine versions that add them (the
+        # kernel selector was introduced after stores already existed).
+        config_dict.pop("kernel", None)
         return _stable_hash(
             {
                 "trace": self.trace_key(),
-                "config": asdict(self.canonical_config()),
+                "config": config_dict,
             }
         )
 

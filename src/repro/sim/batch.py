@@ -1,0 +1,688 @@
+"""Vectorised batch replay kernel (the structure-of-arrays fast path).
+
+The inline loop in :mod:`repro.sim.engine` pays CPython interpretation
+cost per *record*. This kernel pays it per *event* (miss, store,
+same-page run boundary, tracker decision) and handles everything between
+events with numpy array passes over the quantum window:
+
+1. **Predict**: gather each record's cache row from the core's mirrored
+   tag matrix and compare against the block id — one ``(m, ways)``
+   equality pass yields the hit mask for the whole remaining window.
+2. **Conflict walk**: the predictions are valid only until a row is
+   touched after a miss filled it (hits never invalidate a prediction —
+   they change recency, not membership), so a python walk cuts the
+   window into *passes* with at most one fill per row. Every predicted
+   miss conservatively counts as filling.
+3. **Tracker scan** (SLICC/STEPS only): replays the miss-counter /
+   shift-vector / missed-tag-queue bookkeeping over the pass's
+   instruction misses, using prefix sums to extend the MSV with the hit
+   runs between misses in O(1) per gap, and evaluates migration at
+   exactly the records the inline loop would.
+4. **Stamps and fills**: hit recency stamps scatter in one fancy
+   assignment (strictly increasing per-core stamps reproduce the
+   age-counter LRU order exactly — see the proof in
+   ``cache/policies/lru.py``); victims for all of the pass's fills are
+   then chosen in one batched ``argmin`` (sound because no record
+   follows a fill on the same row within a pass).
+5. **Event loop**: a python walk over the pass's misses and stores, in
+   position order, applies the shared-state effects — L2/memory
+   penalties, bloom signature insert/evict, and directory read / write /
+   evict with the same dict-and-set operations (including
+   ``Directory.on_write``'s documented orphaned-sharer-set quirk) as the
+   inline loop, so coherence state stays byte-identical.
+6. **TLB runs**: the SoA tables precompute where the page id changes
+   within each record-kind subsequence; the TLB is only consulted at
+   run starts (plus one forced access per dispatch, mirroring the
+   inline loop's per-dispatch ``last page`` reset).
+
+The kernel mirrors each core's two L1s as one stacked ``(i_sets +
+d_sets, ways)`` int64 tag matrix plus a same-shape recency-stamp matrix;
+the caches' python state is left untouched (only their stats objects are
+flushed, which is all result collection reads). Numpy is an optional
+accelerator: when it is missing the engine keeps the pure-python inline
+loop, and ``REPRO_NO_BATCH=1`` forces the same for CI.
+
+**Measured result (and why this is not the default kernel).** The
+design premise — "the miss residue is typically <10% of records" — does
+not hold for the paper's traces: SLICC studies the L1-I *thrash* regime,
+and the standard workloads measure 35-99.9% instruction-miss rates at CI
+scale (tpcc-10 52.5%, phased 52.5%, tpce 35.1%, webserve 99.9%). Misses
+serially mutate the tag state the passes probe, so at the paper's
+50-record quantum the conflict walk yields ~5 passes of ~10 records,
+and numpy's fixed per-call cost never amortises: the batch kernel
+measures ~0.27x of the inline loop on tpcc-10/slicc (see BENCH_6.json).
+``kernel="auto"`` therefore resolves to the inline loop; the batch
+kernel stays available via ``kernel="batch"`` as a bit-identical
+alternative backend (it wins only when a quantum is nearly all hits,
+which these traces never approach). All of this is quantified in
+DESIGN.md's kernel-selection section.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from itertools import islice
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - numpy is present in the image
+    np = None
+
+from repro.sim.tlb import PAGE_SHIFT
+from repro.workloads.trace import KIND_INSTR
+
+#: Recency sentinel for the padding ways of the narrower cache when the
+#: two L1s have different associativity: never chosen by ``argmin``.
+_PAD_AGE = 1 << 62
+
+#: Merge sentinel beyond any record position.
+_HUGE = 1 << 60
+
+#: Zero-run template for MSV hit-gap extension (a quantum never extends
+#: the MSV by more than ``quantum`` zeros at once).
+_ZEROS = (0,) * 256
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy accelerator can be used."""
+    return np is not None
+
+
+def _scatter_last_wins() -> bool:
+    """Check that fancy assignment with duplicate indices keeps the last
+    value (numpy's documented ``np.put``-style in-order semantics). The
+    hit-stamp scatter relies on it; if a numpy build ever changed this,
+    the engine falls back to the inline loop rather than risk drift.
+    """
+    probe = np.zeros(3, dtype=np.int64)
+    probe[np.array([1, 1, 2])] = np.array([5, 7, 9], dtype=np.int64)
+    return int(probe[1]) == 7
+
+
+class BatchKernel:
+    """Per-engine batch execution state: one dispatch() call per quantum.
+
+    Built only for eligible configurations (see
+    ``ReplayEngine._batch_blockers``): LRU L1s, no prefetchers, no miss
+    classifiers, no banked NUCA, no migration data prefetcher, and a
+    policy whose ``batch_kernel_safe`` flag is set.
+    """
+
+    def __init__(self, engine) -> None:
+        if np is None:
+            raise RuntimeError("BatchKernel requires numpy")
+        if not _scatter_last_wins():  # pragma: no cover - defensive
+            raise RuntimeError("numpy scatter is not last-wins")
+        self.engine = engine
+        machine = engine.machine
+        system = engine.config.system
+        n = system.n_cores
+
+        i_params = machine.l1i_params
+        d_params = system.l1d
+        self.nis = i_params.n_sets
+        self.nds = d_params.n_sets
+        self.i_assoc = i_params.assoc
+        self.d_assoc = d_params.assoc
+        self.width = max(self.i_assoc, self.d_assoc)
+        self.i_mask = self.nis - 1
+        self.d_mask = self.nds - 1
+        self.geometry = (PAGE_SHIFT, self.nis, self.nds, self.width)
+
+        # Per-core mirrors: stacked L1-I + L1-D tag matrix (I rows
+        # first), recency stamps, per-row occupancy, and the strictly
+        # increasing per-core stamp counter. Initialised from the
+        # caches' batch_export so a warm cache (not the engine's case,
+        # but the entry point's contract) would mirror correctly.
+        width = self.width
+        self.tags: list[np.ndarray] = []
+        self.tflat: list[np.ndarray] = []
+        self.aflat: list[np.ndarray] = []
+        self.occ: list[list[int]] = []
+        self.stamp = [1] * n
+        for core in range(n):
+            ti, occ_i = machine.l1i[core].batch_export(width)
+            td, occ_d = machine.l1d[core].batch_export(width)
+            tags = np.vstack([ti, td])
+            ages = np.zeros(tags.shape, dtype=np.int64)
+            if self.i_assoc < width:
+                ages[: self.nis, self.i_assoc:] = _PAD_AGE
+            if self.d_assoc < width:
+                ages[self.nis:, self.d_assoc:] = _PAD_AGE
+            self.tags.append(tags)
+            self.tflat.append(tags.reshape(-1))
+            self.aflat.append(ages.reshape(-1))
+            self.occ.append(occ_i + occ_d)
+        self.ages = [a.reshape(self.nis + self.nds, width) for a in self.aflat]
+
+        timing = engine.timing
+        self._timing = (
+            timing.ibase,
+            timing.dbase,
+            timing.itlb_miss,
+            timing.dtlb_miss,
+            timing.i_miss_l2,
+            timing.i_miss_mem,
+            timing.d_load_l2,
+            timing.d_load_mem,
+            timing.d_store_l2,
+            timing.d_store_mem,
+        )
+        self.directory = machine.directory
+        self.dir_sharers = machine.directory._sharers
+        self.l2_seen = machine._l2_seen
+        self.l1d_stats = [machine.l1d[core].stats for core in range(n)]
+        self.quantum = engine.config.quantum
+        self._queues_is_empty = engine.queues.is_empty
+        # Resolved once: engine is fully imported by construction time
+        # (dispatch used to re-import this per quantum).
+        from repro.sim.engine import BYPASS_REPAIR_RATE
+
+        self._bypass_rate = BYPASS_REPAIR_RATE
+
+        # Compact per-core tuple of the shared-state references each
+        # dispatch unpacks (subset of the engine's _CoreHot).
+        self._hot = []
+        for core in range(n):
+            h = engine._core_hot[core]
+            self._hot.append((
+                h.l1i_stats, h.l1d_stats,
+                h.itlb, h.itlb_entries, h.dtlb, h.dtlb_entries,
+                h.sig_masks, h.sig_imask, h.sig_bit, h.presence_excl,
+                h.slicc_agent, h.steps_agent,
+                h.mc, h.mc_limit,
+                h.msv, h.msv_bits, h.msv_window, h.msv_dilution,
+                h.mtq_entries, h.mtq_matched,
+            ))
+
+    # ------------------------------------------------------------------
+    # Directory mirrors (coherence effects without touching the python
+    # cache state the batch mode bypasses)
+    # ------------------------------------------------------------------
+
+    def _invalidate(self, other: int, block: int) -> None:
+        """Mirror of ``SetAssociativeCache.invalidate`` + its on_evict
+        hook (``Directory.on_evict``) against core ``other``'s tag
+        matrix. LRU keeps no invalidation state, so the stale recency
+        stamp is left in place — exactly like the python cache (see the
+        empty-way-first note in ``cache/policies/lru.py``)."""
+        row = self.nis + (block & self.d_mask)
+        base = row * self.width
+        tflat = self.tflat[other]
+        trow = tflat[base: base + self.d_assoc]
+        eq = trow == block
+        if not eq.any():
+            return
+        tflat[base + int(eq.argmax())] = -1
+        self.occ[other][row] -= 1
+        self.l1d_stats[other].invalidations += 1
+        sharers = self.dir_sharers.get(block)
+        if sharers is not None:
+            sharers.discard(other)
+            if not sharers:
+                del self.dir_sharers[block]
+
+    def _dir_write(self, core: int, block: int) -> None:
+        """Mirror of ``Directory.on_write``: the engine's inline fast
+        cases plus the invalidation slow path, byte-identical including
+        the orphaned-sharer-set quirk documented in coherence/mesi.py
+        (the dict/set operations run in the same order on the same
+        objects)."""
+        dir_sharers = self.dir_sharers
+        sharers = dir_sharers.get(block)
+        if sharers is None:
+            dir_sharers[block] = {core}
+            return
+        if len(sharers) == 1 and core in sharers:
+            return
+        has_remote = False
+        for other in sharers:
+            if other != core:
+                has_remote = True
+                break
+        if has_remote:
+            invalidated = 0
+            for other in list(sharers):
+                if other == core:
+                    continue
+                self._invalidate(other, block)
+                sharers.discard(other)
+                invalidated += 1
+            self.directory.invalidations_sent += invalidated
+        sharers.add(core)
+
+    # ------------------------------------------------------------------
+    # The quantum
+    # ------------------------------------------------------------------
+
+    def dispatch(self, core: int, thread_id: int, state) -> bool:
+        """Execute one quantum of ``thread_id`` on ``core``.
+
+        Returns True when the quantum ended in a staged migration /
+        context switch (``engine._pending_target`` is set), mirroring
+        the inline loop's ``migrated`` flag. Flushes stats, cycle
+        categories and the core clock exactly like the inline flush.
+        """
+        engine = self.engine
+        BYPASS_REPAIR_RATE = self._bypass_rate
+        (
+            l1i_stats, l1d_stats,
+            itlb, itlb_entries, dtlb, dtlb_entries,
+            sig_masks, sig_imask, sig_bit, presence_excl,
+            slicc_agent, steps_agent,
+            mc, mc_limit,
+            msv, msv_bits, msv_window, msv_dilution,
+            mtq_entries, mtq_matched,
+        ) = self._hot[core]
+        (
+            ibase, dbase, itlb_pen, dtlb_pen,
+            i_miss_l2, i_miss_mem,
+            d_load_l2, d_load_mem, d_store_l2, d_store_mem,
+        ) = self._timing
+
+        trace = state.trace
+        (
+            row_arr, flat_arr, nib, sposl, ipos, dpos,
+            irun_pos, irun_page, drun_pos, drun_page,
+        ) = trace.batch_tables(*self.geometry)
+        addr_l = state.addr
+        kind_l = state.kind
+        s = state.pos
+        e = s + self.quantum
+        n_records = len(addr_l)
+        if e > n_records:
+            e = n_records
+        win = e - s
+
+        tags2 = self.tags[core]
+        tflat = self.tflat[core]
+        aflat = self.aflat[core]
+        ages2 = self.ages[core]
+        occ = self.occ[core]
+        stamp0 = self.stamp[core]
+        width = self.width
+        nis = self.nis
+        i_assoc = self.i_assoc
+        d_assoc = self.d_assoc
+        dir_sharers = self.dir_sharers
+        l2_seen = self.l2_seen
+
+        rowv = row_arr[s:e]
+        fv = flat_arr[s:e]
+        bv = trace.addr[s:e]
+
+        bypass_tick = engine._bypass_tick
+        if msv is not None:
+            msv_n = len(msv_bits)
+            msv_ones = msv._ones
+        mc_count = mc._count if mc is not None else 0
+        i_m = d_m = i_ev = d_ev = 0
+        i_stall = d_stall = tlb_cycles = 0
+        migrated = False
+
+        # TLB dispatch state: first I/D record of the window (the
+        # per-dispatch "last page" reset forces a full access there) and
+        # the run cursors into the precomputed page-run lists.
+        ii = int(np.searchsorted(ipos, s))
+        i_first = int(ipos[ii]) if ii < len(ipos) else -1
+        if i_first >= e:
+            i_first = -1
+        di = int(np.searchsorted(dpos, s))
+        d_first = int(dpos[di]) if di < len(dpos) else -1
+        if d_first >= e:
+            d_first = -1
+        i_forced = d_forced = False
+        icur = dcur = 0
+        n_irun = len(irun_pos)
+        n_drun = len(drun_pos)
+
+        sp = bisect_left(sposl, s)
+        nsp = len(sposl)
+
+        seg = 0
+        while seg < win:
+            m = win - seg
+            gb = s + seg
+            rv = rowv[seg:]
+            cand = tags2[rv]
+            eq = cand == bv[seg:, None]
+            hitm = eq.any(1)
+            hitl = hitm.tolist()
+            rl = rv.tolist()
+
+            # --- conflict walk: cut the pass at the first row touched
+            # twice (conservatively treating every predicted miss as a
+            # fill), collecting miss positions and kinds. ---
+            touched = set()
+            B = m
+            mrel: list[int] = []
+            mkind: list[bool] = []
+            for j in range(m):
+                r = rl[j]
+                if r in touched:
+                    B = j
+                    break
+                if not hitl[j]:
+                    touched.add(r)
+                    mrel.append(j)
+                    mkind.append(kind_l[gb + j] == KIND_INSTR)
+            Bc = B
+
+            # --- tracker scan over the pass's instruction misses:
+            # replays MC / bypass / MSV / MTQ / migration bookkeeping.
+            # ``ifills`` is None when every miss fills (no agent, or
+            # STEPS which never bypasses); otherwise one flag per
+            # instruction miss in order. ---
+            ifills: list | None = None
+            if slicc_agent is not None:
+                ifills = []
+                prev_abs = gb
+                for idx in range(len(mrel)):
+                    if not mkind[idx]:
+                        continue
+                    p = mrel[idx]
+                    pa = gb + p
+                    gap = int(nib[pa]) - int(nib[prev_abs])
+                    if gap and mc_count >= mc_limit:
+                        # Hit run with the cache full: each hit bumps
+                        # the bypass tick and shifts a 0 into the MSV.
+                        bypass_tick += gap
+                        if msv_n + gap > msv_window:
+                            popped = msv_n + gap - msv_window
+                            msv_ones -= sum(islice(msv_bits, popped))
+                            msv_n = msv_window
+                        else:
+                            msv_n += gap
+                        msv_bits.extend(_ZEROS[:gap])
+                    prev_abs = pa + 1
+                    if mc_count < mc_limit:
+                        # Filling mode: the miss installs and counts.
+                        ifills.append(True)
+                        mc_count += 1
+                        continue
+                    # Segment-protection bypass + tracker (saturated).
+                    bypass_tick += 1
+                    ifills.append(bypass_tick % BYPASS_REPAIR_RATE == 0)
+                    if msv_n == msv_window:
+                        msv_ones -= msv_bits[0]
+                    else:
+                        msv_n += 1
+                    msv_bits.append(1)
+                    msv_ones += 1
+                    mtq_entries.append(
+                        sig_masks[addr_l[pa] & sig_imask] & presence_excl
+                    )
+                    if (
+                        msv_ones >= msv_dilution
+                        and len(mtq_entries) == mtq_matched
+                    ):
+                        mc._count = mc_count
+                        if engine._evaluate_migration(core, slicc_agent):
+                            migrated = True
+                            Bc = p + 1
+                            break
+                        # STAY: the agent reset its trackers in place.
+                        mc_count = mc._count
+                        msv_n = len(msv_bits)
+                        msv_ones = msv._ones
+                if not migrated:
+                    gap = int(nib[gb + Bc]) - int(nib[prev_abs])
+                    if gap and mc_count >= mc_limit:
+                        bypass_tick += gap
+                        if msv_n + gap > msv_window:
+                            popped = msv_n + gap - msv_window
+                            msv_ones -= sum(islice(msv_bits, popped))
+                            msv_n = msv_window
+                        else:
+                            msv_n += gap
+                        msv_bits.extend(_ZEROS[:gap])
+            elif steps_agent is not None:
+                prev_abs = gb
+                for idx in range(len(mrel)):
+                    if not mkind[idx]:
+                        continue
+                    p = mrel[idx]
+                    pa = gb + p
+                    gap = int(nib[pa]) - int(nib[prev_abs])
+                    if gap and mc_count >= mc_limit:
+                        if msv_n + gap > msv_window:
+                            popped = msv_n + gap - msv_window
+                            msv_ones -= sum(islice(msv_bits, popped))
+                            msv_n = msv_window
+                        else:
+                            msv_n += gap
+                        msv_bits.extend(_ZEROS[:gap])
+                    prev_abs = pa + 1
+                    if mc_count < mc_limit:
+                        mc_count += 1
+                    else:
+                        if msv_n == msv_window:
+                            msv_ones -= msv_bits[0]
+                        else:
+                            msv_n += 1
+                        msv_bits.append(1)
+                        msv_ones += 1
+                    if (
+                        mc_count >= mc_limit
+                        and msv_ones >= msv_dilution
+                        and not self._queues_is_empty(core)
+                    ):
+                        engine._pending_target = -1
+                        migrated = True
+                        Bc = p + 1
+                        break
+                if not migrated:
+                    gap = int(nib[gb + Bc]) - int(nib[prev_abs])
+                    if gap and mc_count >= mc_limit:
+                        if msv_n + gap > msv_window:
+                            popped = msv_n + gap - msv_window
+                            msv_ones -= sum(islice(msv_bits, popped))
+                            msv_n = msv_window
+                        else:
+                            msv_n += gap
+                        msv_bits.extend(_ZEROS[:gap])
+
+            # --- hit recency stamps: one scatter for the whole pass
+            # (stamps are the pass positions offset by the per-core
+            # counter — strictly increasing, so within any set they
+            # reproduce the age-counter LRU order exactly). Applied
+            # before victim selection so fills see current recency. ---
+            hslice = hitm if Bc == m else hitm[:Bc]
+            hpos = np.nonzero(hslice)[0]
+            fvp = fv[seg: seg + Bc]
+            if hpos.size:
+                ways_h = eq[hpos].argmax(1)
+                aflat[fvp[hpos] + ways_h] = stamp0 + hpos
+
+            # --- batched fills: one victim argmin over all filling
+            # misses (rows are unique within a pass, and no record
+            # follows a fill on its row, so the choices are
+            # independent). ---
+            frel: list[int] = []
+            mfill: list[bool] = []
+            fi = 0
+            nm = 0
+            for idx in range(len(mrel)):
+                p = mrel[idx]
+                if p >= Bc:
+                    break
+                nm += 1
+                if mkind[idx]:
+                    fill = True if ifills is None else ifills[fi]
+                    fi += 1
+                else:
+                    fill = True
+                mfill.append(fill)
+                if fill:
+                    frel.append(p)
+            if frel:
+                fr = np.array(frel, dtype=np.int64)
+                vrows_l = [rl[p] for p in frel]
+                vrows = np.array(vrows_l, dtype=np.int64)
+                full_l = [
+                    occ[r] >= (i_assoc if r < nis else d_assoc)
+                    for r in vrows_l
+                ]
+                trows = tags2[vrows]
+                empty_way = (trows == -1).argmax(1)
+                victim_way = ages2[vrows].argmin(1)
+                ways_f = np.where(
+                    np.array(full_l), victim_way, empty_way
+                )
+                victims = trows[np.arange(len(frel)), ways_f]
+                fidx = fvp[fr] + ways_f
+                tflat[fidx] = bv[seg + fr]
+                aflat[fidx] = stamp0 + fr
+                victims_l = victims.tolist()
+                ways_l = ways_f.tolist()
+                for filled_full, r in zip(full_l, vrows_l):
+                    if not filled_full:
+                        occ[r] += 1
+            else:
+                full_l = victims_l = ways_l = vrows_l = []
+
+            # --- event loop: position-ordered shared-state effects for
+            # misses and stores (penalties, bloom signature, coherence
+            # directory), mirroring the inline loop's per-record
+            # order. ---
+            mi = 0
+            vi = 0
+            pass_end = gb + Bc
+            while True:
+                pm = gb + mrel[mi] if mi < nm else _HUGE
+                ps = sposl[sp] if sp < nsp and sposl[sp] < pass_end else _HUGE
+                if pm >= _HUGE and ps >= _HUGE:
+                    break
+                if pm <= ps:
+                    is_instr = mkind[mi]
+                    fill = mfill[mi]
+                    mi += 1
+                    block = addr_l[pm]
+                    if is_instr:
+                        i_m += 1
+                        if fill:
+                            if full_l[vi]:
+                                victim = victims_l[vi]
+                                i_ev += 1
+                                if sig_masks is not None:
+                                    # BloomSignature.on_evict: clear the
+                                    # victim's bit unless a same-set
+                                    # survivor shares the filter index.
+                                    vidx = victim & sig_imask
+                                    row0 = vrows_l[vi] * width
+                                    way = ways_l[vi]
+                                    trow = tflat[
+                                        row0: row0 + i_assoc
+                                    ].tolist()
+                                    for w2 in range(i_assoc):
+                                        if w2 == way:
+                                            continue
+                                        t2 = trow[w2]
+                                        if t2 != -1 and t2 & sig_imask == vidx:
+                                            break
+                                    else:
+                                        sig_masks[vidx] &= ~sig_bit
+                            vi += 1
+                        if block in l2_seen:
+                            i_stall += i_miss_l2
+                        else:
+                            l2_seen.add(block)
+                            i_stall += i_miss_mem
+                        if fill and sig_masks is not None:
+                            sig_masks[block & sig_imask] |= sig_bit
+                    else:
+                        d_m += 1
+                        is_store = pm == ps
+                        if is_store:
+                            sp += 1
+                        if full_l[vi]:
+                            victim = victims_l[vi]
+                            d_ev += 1
+                            # Directory.on_evict, inlined.
+                            vs = dir_sharers.get(victim)
+                            if vs is not None:
+                                vs.discard(core)
+                                if not vs:
+                                    del dir_sharers[victim]
+                        vi += 1
+                        if block in l2_seen:
+                            in_l2 = True
+                        else:
+                            l2_seen.add(block)
+                            in_l2 = False
+                        if is_store:
+                            d_stall += d_store_l2 if in_l2 else d_store_mem
+                            self._dir_write(core, block)
+                        else:
+                            d_stall += d_load_l2 if in_l2 else d_load_mem
+                            # Directory.on_read, inlined.
+                            sharers = dir_sharers.get(block)
+                            if sharers is None:
+                                dir_sharers[block] = {core}
+                            else:
+                                sharers.add(core)
+                else:
+                    # Store hit: directory write only.
+                    sp += 1
+                    self._dir_write(core, addr_l[ps])
+
+            # --- TLB: run starts inside the pass, plus the forced
+            # first access of each stream (the inline loop resets its
+            # "last page" local every dispatch). ---
+            ipages: list[int] = []
+            if i_first != -1 and i_first < pass_end:
+                if not i_forced:
+                    i_forced = True
+                    c = bisect_right(irun_pos, i_first) - 1
+                    ipages.append(irun_page[c])
+                    icur = c + 1
+                while icur < n_irun and irun_pos[icur] < pass_end:
+                    ipages.append(irun_page[icur])
+                    icur += 1
+                if ipages:
+                    tlb_cycles += itlb.access_pages(ipages) * itlb_pen
+            dpages: list[int] = []
+            if d_first != -1 and d_first < pass_end:
+                if not d_forced:
+                    d_forced = True
+                    c = bisect_right(drun_pos, d_first) - 1
+                    dpages.append(drun_page[c])
+                    dcur = c + 1
+                while dcur < n_drun and drun_pos[dcur] < pass_end:
+                    dpages.append(drun_page[dcur])
+                    dcur += 1
+                if dpages:
+                    tlb_cycles += dtlb.access_pages(dpages) * dtlb_pen
+
+            stamp0 += Bc
+            seg += Bc
+            if migrated:
+                break
+
+        # --- flush (mirrors the inline loop's quantum flush) ---
+        state.pos = s + seg
+        i_n = int(nib[s + seg]) - int(nib[s])
+        d_n = seg - i_n
+        engine._bypass_tick = bypass_tick
+        if mc is not None:
+            mc._count = mc_count
+        if msv is not None:
+            msv._ones = msv_ones
+        l1i_stats.accesses += i_n
+        l1i_stats.misses += i_m
+        l1i_stats.evictions += i_ev
+        l1d_stats.accesses += d_n
+        l1d_stats.misses += d_m
+        l1d_stats.evictions += d_ev
+        base_cycles = ibase * i_n + dbase * d_n
+        engine.cycles_base += base_cycles
+        itlb.accesses += i_n
+        dtlb.accesses += d_n
+        cycles = base_cycles + tlb_cycles + i_stall + d_stall
+        engine.cycles_tlb += tlb_cycles
+        engine.cycles_i_stall += i_stall
+        engine.cycles_d_stall += d_stall
+        engine.clock[core] += cycles
+        engine.busy_cycles += cycles
+        self.stamp[core] = stamp0
+        return migrated

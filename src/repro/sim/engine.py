@@ -36,6 +36,7 @@ transfer cost (Section 4.4) when it next starts running.
 from __future__ import annotations
 
 import heapq
+import os
 from collections import deque
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional
@@ -136,6 +137,20 @@ class SimConfig:
     #: (Table 2) instead of the infinite-L2 approximation. Slower; only
     #: changes results when a workload's footprint pressures 16MB.
     model_l2_capacity: bool = False
+    #: Replay kernel selection. ``"auto"`` (the default) resolves to the
+    #: pure-python inline loop — on the paper's thrash-regime traces the
+    #: vectorised batch kernel measures *slower* than the inline loop at
+    #: the 50-record quantum (35-99.9% i-miss rates leave no hit bulk to
+    #: vectorise; see the honest-result note in ``sim/batch.py``), so
+    #: auto never silently regresses a run. ``"batch"`` opts into the
+    #: batch kernel explicitly (raising on an ineligible config — see
+    #: :meth:`ReplayEngine._batch_blockers` — or when numpy is missing
+    #: or ``REPRO_NO_BATCH=1`` is set); ``"inline"`` forces the inline
+    #: loop; ``"fallback"`` routes every record through the generic
+    #: ``_process_instruction`` / ``_process_data`` reference path. All
+    #: kernels are byte-identical; the choice never affects results (and
+    #: is excluded from experiment store keys — see ``exp/spec.py``).
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
         if not has_policy(self.variant):
@@ -144,6 +159,11 @@ class SimConfig:
             )
         if self.quantum <= 0:
             raise ConfigurationError("quantum must be positive")
+        if self.kernel not in ("auto", "batch", "inline", "fallback"):
+            raise ConfigurationError(
+                f"unknown kernel {self.kernel!r}; "
+                "expected auto, batch, inline or fallback"
+            )
 
 
 class _ThreadState:
@@ -461,6 +481,83 @@ class ReplayEngine:
             policy_type.on_complete is not SchedulingPolicy.on_complete
         )
         self._policy_quantum_hook = policy.quantum_hook
+
+        # Kernel selection (PR 6): batch (vectorised quantum passes) vs
+        # inline (the PR 2/3 per-record loop) vs fallback (the generic
+        # reference methods). All three are byte-identical — the golden
+        # suite pins it; the choice is pure performance.
+        self.kernel = self._select_kernel()
+        self._batch = None
+        if self.kernel == "batch":
+            from repro.sim.batch import BatchKernel
+
+            self._batch = BatchKernel(self)
+        elif self.kernel == "fallback":
+            self._fast_i = False
+            self._fast_d = False
+
+    def _batch_blockers(self) -> list[str]:
+        """Why this configuration cannot use the batch kernel (empty
+        when eligible).
+
+        The batch kernel mirrors exactly the machinery of the standard
+        fast path — LRU L1s, TLBs, bloom signatures, the coherence
+        directory and the SLICC/STEPS trackers. Features with their own
+        per-record inline state stay on the inline loop, as does any
+        policy that clears the ``batch_kernel_safe`` capability flag.
+        """
+        reasons = []
+        if not self.policy.batch_kernel_safe:
+            reasons.append(
+                f"policy {self.policy.name!r} clears batch_kernel_safe"
+            )
+        if self.prefetchers is not None:
+            reasons.append("next-line prefetcher")
+        if self.i_classifiers is not None:
+            reasons.append("miss classifiers")
+        if self.machine.nuca is not None:
+            reasons.append("banked NUCA L2")
+        if self.data_prefetcher is not None:
+            reasons.append("migration data prefetcher")
+        if self.machine.l1i[0].policy.__class__ is not LruPolicy:
+            reasons.append("non-LRU L1-I policy")
+        if self.machine.l1d[0].policy.__class__ is not LruPolicy:
+            reasons.append("non-LRU L1-D policy")
+        return reasons
+
+    def _select_kernel(self) -> str:
+        """Resolve ``config.kernel`` to the kernel this run will use.
+
+        ``auto`` resolves to ``inline``: the batch kernel is an explicit
+        opt-in because it loses to the inline loop on the paper's
+        thrash-regime traces (the measured negative result documented in
+        ``sim/batch.py`` and DESIGN.md). An explicit ``batch`` request
+        is validated — ineligible configuration, missing numpy or a
+        ``REPRO_NO_BATCH=1`` veto each raise rather than silently
+        running a different kernel than the caller asked for.
+        """
+        requested = self.config.kernel
+        if requested == "fallback":
+            return "fallback"
+        if requested != "batch":
+            return "inline"
+        from repro.sim.batch import numpy_available
+
+        if os.environ.get("REPRO_NO_BATCH"):
+            raise ConfigurationError(
+                "kernel='batch' requested but REPRO_NO_BATCH is set"
+            )
+        if not numpy_available():
+            raise ConfigurationError(
+                "kernel='batch' requested but numpy is unavailable"
+            )
+        blockers = self._batch_blockers()
+        if blockers:
+            raise ConfigurationError(
+                "kernel='batch' requested but the configuration is "
+                "ineligible: " + "; ".join(blockers)
+            )
+        return "batch"
 
     def _build_core_hot(self, core: int) -> "_CoreHot":
         machine = self.machine
@@ -973,6 +1070,9 @@ class ReplayEngine:
         policy_quantum_end = self.policy.quantum_end
         KI = KIND_INSTR
         KS = KIND_STORE
+        batch_dispatch = (
+            self._batch.dispatch if self._batch is not None else None
+        )
         heappop = heapq.heappop
         heap = self._heap
         in_heap = self._in_heap
@@ -1033,6 +1133,27 @@ class ReplayEngine:
 
             thread_id = running[core]
             state = threads[thread_id]
+
+            if batch_dispatch is not None:
+                # Batch kernel (PR 6): the whole quantum runs as
+                # vectorised passes in repro.sim.batch; only the
+                # scheduling tail below is shared with the inline path.
+                migrated = batch_dispatch(core, thread_id, state)
+                if migrated:
+                    if self._pending_target == -1:
+                        self._steps_switch(core)
+                    else:
+                        self._migrate(core, self._pending_target)
+                elif state.pos >= len(state.addr):
+                    self._complete(core, clocks[core])
+                elif policy_quantum:
+                    target = policy_quantum_end(core)
+                    if target is not None:
+                        self._migrate(core, target)
+                if running[core] is not None or not queues_is_empty(core):
+                    self._activate(core, clocks[core])
+                continue
+
             addr = state.addr
             kind = state.kind
             pages = state.page

@@ -324,3 +324,218 @@ class TestReplayTables:
         clone = pickle.loads(pickle.dumps(thread))
         assert not hasattr(clone, "_replay_tables")
         assert clone.addr.tolist() == thread.addr.tolist()
+
+
+# ----------------------------------------------------------------------
+# PR 6: the batch replay kernel vs the inline loop vs the reference path
+# ----------------------------------------------------------------------
+
+import os  # noqa: E402
+
+from repro.errors import ConfigurationError  # noqa: E402
+from repro.sched import get_policy, policy_names  # noqa: E402
+from repro.sim.batch import numpy_available  # noqa: E402
+from repro.sim.tlb import PAGE_SHIFT, Tlb  # noqa: E402
+from repro.workloads.trace import KIND_INSTR  # noqa: E402
+
+_BATCH_OK = numpy_available() and not os.environ.get("REPRO_NO_BATCH")
+
+needs_batch = pytest.mark.skipif(
+    not _BATCH_OK, reason="numpy unavailable or REPRO_NO_BATCH set"
+)
+
+#: Policies the batch kernel cannot run (structural blockers); forcing
+#: kernel="batch" on them must raise, and auto keeps them inline.
+BATCH_INELIGIBLE = frozenset({"nextline"})
+
+KERNEL_MATRIX_WORKLOADS = ("tpcc-1", "webserve", "phased")
+
+
+@pytest.fixture(scope="module")
+def kernel_traces():
+    return {
+        workload: standard_trace(workload, ScalePreset.SMOKE, seed=3)
+        for workload in KERNEL_MATRIX_WORKLOADS
+    }
+
+
+def _run_kernel(trace, variant: str, kernel: str) -> str:
+    engine = ReplayEngine(trace, SimConfig(variant=variant, kernel=kernel))
+    assert engine.kernel == kernel
+    return result_to_json(engine.run())
+
+
+class TestKernelEquivalenceMatrix:
+    """Every registered policy × three workloads: the three kernels are
+    byte-identical (the batch leg skips structurally ineligible
+    policies, whose batch request is pinned to raise below)."""
+
+    @pytest.mark.parametrize("workload", KERNEL_MATRIX_WORKLOADS)
+    @pytest.mark.parametrize("variant", sorted(policy_names()))
+    def test_kernels_byte_identical(self, kernel_traces, workload, variant):
+        trace = kernel_traces[workload]
+        inline = _run_kernel(trace, variant, "inline")
+        fallback = _run_kernel(trace, variant, "fallback")
+        assert inline == fallback
+        if _BATCH_OK and variant not in BATCH_INELIGIBLE:
+            assert _run_kernel(trace, variant, "batch") == inline
+
+
+class TestKernelSelection:
+    def test_auto_resolves_to_inline(self, matrix_trace):
+        # The measured negative result: on the paper's thrash-regime
+        # traces the batch kernel loses to the inline loop, so auto
+        # must never pick it (see sim/batch.py).
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="slicc"))
+        assert engine.kernel == "inline"
+        assert engine._batch is None
+        assert engine._fast_i and engine._fast_d
+
+    @needs_batch
+    def test_explicit_batch_honoured(self, matrix_trace):
+        engine = ReplayEngine(
+            matrix_trace, SimConfig(variant="slicc", kernel="batch")
+        )
+        assert engine.kernel == "batch"
+        assert engine._batch is not None
+
+    def test_fallback_disables_fast_flags(self, matrix_trace):
+        engine = ReplayEngine(
+            matrix_trace, SimConfig(variant="base", kernel="fallback")
+        )
+        assert engine.kernel == "fallback"
+        assert not engine._fast_i and not engine._fast_d
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(kernel="vectorised")
+
+    @needs_batch
+    def test_ineligible_policy_raises_on_forced_batch(self, matrix_trace):
+        with pytest.raises(ConfigurationError, match="ineligible"):
+            ReplayEngine(
+                matrix_trace, SimConfig(variant="nextline", kernel="batch")
+            )
+
+    @needs_batch
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"collect_miss_classes": True},
+            {"model_l2_capacity": True},
+            {"variant": "slicc", "data_prefetch_n": 4},
+        ],
+        ids=["classifiers", "nuca", "data-prefetch"],
+    )
+    def test_structural_blockers_raise_on_forced_batch(
+        self, matrix_trace, kwargs
+    ):
+        kwargs.setdefault("variant", "base")
+        with pytest.raises(ConfigurationError, match="ineligible"):
+            ReplayEngine(matrix_trace, SimConfig(kernel="batch", **kwargs))
+
+    def test_no_batch_env_vetoes_forced_batch(self, matrix_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_BATCH", "1")
+        with pytest.raises(ConfigurationError, match="REPRO_NO_BATCH"):
+            ReplayEngine(
+                matrix_trace, SimConfig(variant="base", kernel="batch")
+            )
+        # auto is unaffected: it never picks batch anyway.
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="base"))
+        assert engine.kernel == "inline"
+
+    def test_batch_kernel_safe_flag_blocks(self, matrix_trace, monkeypatch):
+        cls = get_policy("base")
+        monkeypatch.setattr(cls, "batch_kernel_safe", False)
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="base"))
+        assert "batch_kernel_safe" in " ".join(engine._batch_blockers())
+        if _BATCH_OK:
+            with pytest.raises(ConfigurationError, match="batch_kernel_safe"):
+                ReplayEngine(
+                    matrix_trace, SimConfig(variant="base", kernel="batch")
+                )
+
+    def test_kernel_excluded_from_spec_keys(self):
+        from repro.exp.spec import ExperimentSpec
+
+        base = ExperimentSpec("tpcc-1", config=SimConfig(variant="slicc"))
+        forced = ExperimentSpec(
+            "tpcc-1", config=SimConfig(variant="slicc", kernel="batch")
+        )
+        assert base.key() == forced.key()
+
+
+@needs_batch
+class TestBatchTables:
+    def test_tables_memoised_per_geometry(self, matrix_trace):
+        thread = matrix_trace.threads[0]
+        tables = thread.batch_tables(PAGE_SHIFT, 64, 64, 8)
+        assert thread.batch_tables(PAGE_SHIFT, 64, 64, 8) is tables
+        other = thread.batch_tables(PAGE_SHIFT, 128, 64, 8)
+        assert other is not tables
+
+    def test_row_ids_and_prefix_match_python(self, matrix_trace):
+        thread = matrix_trace.threads[0]
+        nis, nds, width = 64, 64, 8
+        row, flat, nib, spos, ipos, dpos, *_ = thread.batch_tables(
+            PAGE_SHIFT, nis, nds, width
+        )
+        addr = thread.addr.tolist()
+        kind = thread.kind.tolist()
+        expect_rows = [
+            (a & (nis - 1)) if k == KIND_INSTR else nis + (a & (nds - 1))
+            for a, k in zip(addr, kind)
+        ]
+        assert row.tolist() == expect_rows
+        assert flat.tolist() == [r * width for r in expect_rows]
+        run = 0
+        for i, k in enumerate(kind):
+            assert nib[i] == run
+            if k == KIND_INSTR:
+                run += 1
+        assert nib[len(kind)] == run
+        assert ipos.tolist() == [
+            i for i, k in enumerate(kind) if k == KIND_INSTR
+        ]
+        assert dpos.tolist() == [
+            i for i, k in enumerate(kind) if k != KIND_INSTR
+        ]
+
+    def test_tables_not_pickled(self, matrix_trace):
+        import pickle
+
+        thread = matrix_trace.threads[0]
+        thread.batch_tables(PAGE_SHIFT, 64, 64, 8)
+        clone = pickle.loads(pickle.dumps(thread))
+        assert not hasattr(clone, "_batch_tables")
+        assert clone.addr.tolist() == thread.addr.tolist()
+
+
+class TestBatchEntryPoints:
+    @needs_batch
+    def test_batch_export_mirrors_residency(self, tiny_params):
+        cache = SetAssociativeCache(tiny_params)
+        n_sets = tiny_params.n_sets
+        blocks = [0, n_sets, 2 * n_sets, 3, n_sets + 3]
+        for block in blocks:
+            cache.access_fast(block)
+        tags, occ = cache.batch_export()
+        assert tags.shape == (n_sets, tiny_params.assoc)
+        assert occ[0] == 3 and occ[3] == 2
+        resident = set(tags[tags != -1].tolist())
+        assert resident == set(blocks)
+        assert cache.probe_batch(blocks) == [True] * len(blocks)
+        assert cache.probe_batch([7 * n_sets]) == [False]
+        with pytest.raises(ValueError):
+            cache.batch_export(tiny_params.assoc - 1)
+
+    def test_tlb_access_pages_matches_scalar(self):
+        a, b = Tlb(entries=4), Tlb(entries=4)
+        pages = [1, 2, 3, 1, 4, 5, 6, 2, 1]
+        for page in pages:
+            a.access(page << PAGE_SHIFT)
+        misses = b.access_pages(pages)
+        assert misses == a.misses == b.misses
+        assert list(a._map) == list(b._map)
+        # accesses is bulk-added by the caller, not by access_pages.
+        assert b.accesses == 0
