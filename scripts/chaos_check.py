@@ -1,0 +1,166 @@
+#!/usr/bin/env python
+"""Seeded chaos run for CI: faults on, sweep, heal, verify.
+
+Drives a smoke-scale sweep through the fault-tolerant Runner under a
+deterministic ``REPRO_FAULT`` profile (worker crashes, hangs bounded by
+a per-spec timeout, torn store appends), then re-runs fault-free against
+the same store and asserts the recovery contract held end to end:
+
+* the chaos pass never takes the process down — every fault is either
+  retried to success or recorded as a structured failure row;
+* the fault-free resume completes every remaining spec, serving healthy
+  rows from the store (no wasted re-simulation);
+* after ``compact`` the store audits clean and holds exactly one live
+  result per spec, byte-identical to a fault-free reference run.
+
+Faults are injected only inside this process tree and the profile is
+seeded, so the schedule — and therefore this script's outcome — is
+reproducible. Run from the repo root:
+
+    python scripts/chaos_check.py [--seed N] [--store DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import tempfile
+import warnings
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.errors import SweepFailure  # noqa: E402
+from repro.exp import (  # noqa: E402
+    ResultStore,
+    Runner,
+    audit_store,
+    compact_store,
+    grid,
+    result_to_json,
+    spec_for,
+)
+from repro.params import ScalePreset  # noqa: E402
+from repro.workloads import standard_trace  # noqa: E402
+
+#: Every fault kind at once, probabilities high enough that a smoke grid
+#: reliably exercises crash-retry, timeout-kill and torn-append paths.
+CHAOS_PROFILE = "crash:0.4,hang:0.15,torn_write:0.5"
+HANG_SECONDS = "30"  # park hung workers well past the timeout
+TIMEOUT_SECONDS = 3.0
+
+#: With this seed the deterministic schedule covers the whole recovery
+#: matrix on the smoke grid: at least one crash-then-retry success, one
+#: crash-doomed failure, one timeout kill, and torn appends.
+DEFAULT_SEED = 2
+
+
+def build_specs(trace):
+    return grid(
+        spec_for(trace, variant="slicc-sw"),
+        {
+            "variant": ["base", "slicc", "slicc-sw"],
+            "slicc.dilution_t": [0, 5],
+        },
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--seed", type=int, default=DEFAULT_SEED, help="fault seed"
+    )
+    parser.add_argument(
+        "--store", default=None, help="store directory (default: temp)"
+    )
+    args = parser.parse_args(argv)
+
+    trace = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=7)
+    specs = build_specs(trace)
+    keys = {spec.key() for spec in specs}
+    reference = {
+        spec.key(): result_to_json(
+            Runner().run([spec], trace=trace)[0]
+        )
+        for spec in specs
+    }
+
+    store_dir = args.store or tempfile.mkdtemp(prefix="repro-chaos-")
+    store_path = Path(store_dir)
+
+    # -- chaos pass ----------------------------------------------------
+    os.environ["REPRO_FAULT"] = CHAOS_PROFILE
+    os.environ["REPRO_FAULT_SEED"] = str(args.seed)
+    os.environ["REPRO_FAULT_HANG_S"] = HANG_SECONDS
+    print(f"chaos pass: REPRO_FAULT={CHAOS_PROFILE} seed={args.seed}")
+    runner = Runner(
+        store=ResultStore(store_path),
+        jobs=4,
+        retries=2,
+        timeout=TIMEOUT_SECONDS,
+        backoff=0.05,
+    )
+    failed = 0
+    try:
+        runner.run(specs, trace=trace)
+    except SweepFailure as failure:
+        failed = len(failure.failures)
+    stats = runner.last_stats
+    print(
+        f"  chaos stats: {stats.simulated} simulated, {stats.failed} "
+        f"failed ({stats.timed_out} timed out), {stats.retried} retried"
+    )
+    # Duplicate keys in the grid (base ignores the slicc axes) are
+    # served as cache hits, so account for all three buckets.
+    assert stats.simulated + stats.failed + stats.cached == len(
+        specs
+    ), "specs went missing"
+    assert failed == stats.failed
+    if args.seed == DEFAULT_SEED:
+        # The default schedule is pinned to cover the whole matrix.
+        assert stats.retried >= 1, "no crash-retry exercised"
+        assert stats.timed_out >= 1, "no timeout kill exercised"
+        assert stats.failed >= 2, "no retries-exhausted failure exercised"
+
+    # -- fault-free resume --------------------------------------------
+    for var in ("REPRO_FAULT", "REPRO_FAULT_SEED", "REPRO_FAULT_HANG_S"):
+        os.environ.pop(var, None)
+    with warnings.catch_warnings():
+        # Torn appends from the chaos pass are expected corruption.
+        warnings.simplefilter("ignore")
+        resumed = Runner(store=ResultStore(store_path), jobs=4)
+        resumed.run(specs, trace=trace)
+    print(
+        f"  resume stats: {resumed.last_stats.simulated} simulated, "
+        f"{resumed.last_stats.cached} cached"
+    )
+    assert resumed.last_stats.simulated + resumed.last_stats.cached == len(
+        specs
+    )
+
+    # -- store integrity ----------------------------------------------
+    before, kept = compact_store(store_path)
+    audit = audit_store(store_path)
+    print(
+        f"  compact: {before.lines} lines -> {kept} rows "
+        f"({before.corrupt} corrupt quarantined)"
+    )
+    assert audit.clean, f"store still corrupt after compact: {audit}"
+    assert audit.live_failures == 0, "resume left failure rows live"
+    final = ResultStore(store_path)
+    assert set(final.keys()) == keys, "store is missing spec rows"
+    for key in keys:
+        assert result_to_json(final.get(key)) == reference[key], (
+            f"chaos-recovered row for {key[:12]} diverges from the "
+            "fault-free reference"
+        )
+    print(
+        f"chaos check passed: {len(keys)} specs recovered byte-identical "
+        f"under {CHAOS_PROFILE!r}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,7 +6,16 @@ Commands
 ``sweep``   the Figure 7/8 threshold sweeps
 ``exp``     run a declarative experiment spec file end-to-end
 ``paper``   reproduce the registered paper figures into a report
+``store``   verify / compact a JSONL result store
 ``info``    show workload and machine parameters
+
+Exit codes
+----------
+0   success
+1   ``store verify`` found corruption
+2   usage or configuration error (bad spec file, unknown field, ...)
+3   a sweep completed but one or more specs failed after retries
+130 interrupted (SIGINT/SIGTERM); completed results are persisted
 
 Examples::
 
@@ -33,10 +42,12 @@ from repro.analysis import (
     write_figure_report,
     write_index,
 )
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepFailure
 from repro.exp import (
     ResultStore,
     Runner,
+    audit_store,
+    compact_store,
     figure_names,
     load_spec_file,
     select_figures,
@@ -80,11 +91,32 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
         help="persist results as JSONL under DIR; reruns become "
         "incremental (default: in-memory only)",
     )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="retries per spec for transient failures — worker death, "
+        "engine exceptions — with exponential backoff (default: 2)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-spec wall-clock timeout; a hung simulation's worker "
+        "is killed and the spec marked timed_out (default: none)",
+    )
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
     store = ResultStore(args.store) if args.store else None
-    return Runner(store=store, jobs=args.jobs)
+    return Runner(
+        store=store,
+        jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
 
 
 def _trace_from(args: argparse.Namespace):
@@ -94,11 +126,24 @@ def _trace_from(args: argparse.Namespace):
     )
 
 
+def _fault_suffix(stats) -> str:
+    """Render the failure counters when any recovery machinery fired."""
+    parts = []
+    if stats.failed:
+        parts.append(f"{stats.failed} failed")
+    if stats.timed_out:
+        parts.append(f"{stats.timed_out} timed out")
+    if stats.retried:
+        parts.append(f"{stats.retried} retried")
+    return (", " + ", ".join(parts)) if parts else ""
+
+
 def _print_stats(runner: Runner, specs=None) -> None:
     stats = runner.last_stats
-    if stats.simulated:
+    if stats.simulated or stats.failed:
         line = (
-            f"[{stats.simulated} simulated, {stats.cached} cached | "
+            f"[{stats.simulated} simulated, {stats.cached} cached"
+            f"{_fault_suffix(stats)} | "
             f"wall {stats.wall_seconds:.2f}s, "
             f"sim {stats.sim_seconds:.2f}s]"
         )
@@ -175,18 +220,55 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _failure_table(failures) -> str:
+    """Per-spec failure table for a sweep that lost rows."""
+    rows = [
+        [
+            outcome.spec.display_label(),
+            outcome.spec.variant,
+            outcome.kind,
+            outcome.attempts,
+            (outcome.error or "")[:60],
+        ]
+        for outcome in failures
+    ]
+    return format_table(
+        ["label", "variant", "failure", "attempts", "error"],
+        rows,
+        title=f"{len(failures)} spec(s) failed after retries",
+    )
+
+
 def _cmd_exp(args: argparse.Namespace) -> int:
     specs, baseline_spec = load_spec_file(args.specfile)
     runner = _make_runner(args)
+    all_specs = specs if baseline_spec is None else [baseline_spec] + specs
+    try:
+        results = runner.run(all_specs)
+    except SweepFailure as failure:
+        # The sweep ran to completion; report what survived, table what
+        # did not, and exit non-zero so CI pipelines notice.
+        completed = [
+            (spec, result)
+            for spec, result in zip(all_specs, failure.results)
+            if result is not None
+        ]
+        if completed:
+            print(
+                summarize(
+                    completed,
+                    title=f"{args.specfile} — completed specs",
+                )
+            )
+        print(_failure_table(failure.failures), file=sys.stderr)
+        _print_stats(runner, specs=all_specs)
+        return 3
     if baseline_spec is not None:
-        results = runner.run([baseline_spec] + specs)
         baseline, results = results[0], results[1:]
     else:
-        results = runner.run(specs)
         baseline = None
     title = f"{args.specfile} — {len(specs)} points"
     print(summarize(list(zip(specs, results)), baseline=baseline, title=title))
-    all_specs = specs if baseline_spec is None else [baseline_spec] + specs
     _print_stats(runner, specs=all_specs)
     return 0
 
@@ -207,7 +289,12 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     # The store lives inside the report directory by default, so pointing
     # a second invocation at the same --out is what makes it resumable.
     store = ResultStore(args.store if args.store else out / "results.jsonl")
-    runner = Runner(store=store, jobs=args.jobs)
+    runner = Runner(
+        store=store,
+        jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
 
     entries = []
     total_simulated = total_skipped = 0
@@ -231,6 +318,55 @@ def _cmd_paper(args: argparse.Namespace) -> int:
         f"report: {index} ({len(entries)} figures; "
         f"{total_simulated} simulated, {total_skipped} skipped via "
         f"{store.path})"
+    )
+    return 0
+
+
+def _audit_rows(audit) -> list[list[object]]:
+    return [
+        ["lines", audit.lines],
+        ["result rows", audit.result_rows],
+        ["failure rows", audit.failure_rows],
+        ["live keys", audit.keys],
+        ["live failures", audit.live_failures],
+        ["superseded rows", audit.superseded],
+        ["blank lines", audit.blank],
+        ["corrupt lines", audit.corrupt],
+    ]
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if args.action == "verify":
+        audit = audit_store(args.path)
+        print(
+            format_table(
+                ["property", "count"],
+                _audit_rows(audit),
+                title=f"store verify — {audit.path}",
+            )
+        )
+        if not audit.clean:
+            print(
+                f"CORRUPT: {audit.corrupt} unparseable line(s); run "
+                f"`repro store compact {args.path}` to quarantine and "
+                "rewrite",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"clean ({audit.keys} results"
+            + (f", {audit.live_failures} live failures" if audit.live_failures else "")
+            + (f", {audit.reclaimable} reclaimable lines" if audit.reclaimable else "")
+            + ")"
+        )
+        return 0
+    before, kept = compact_store(args.path)
+    print(
+        f"compacted {before.path}: {before.lines} lines -> {kept} rows "
+        f"(dropped {before.superseded} superseded, {before.blank} blank, "
+        f"{before.corrupt} corrupt"
+        + (" -> quarantine sidecar" if before.corrupt else "")
+        + ")"
     )
     return 0
 
@@ -260,6 +396,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="SLICC (MICRO 2012) reproduction toolkit",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0    success\n"
+            "  1    `store verify` found corruption\n"
+            "  2    usage or configuration error\n"
+            "  3    sweep completed but specs failed after retries\n"
+            "  130  interrupted; completed results are persisted"
+        ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -286,7 +431,15 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.set_defaults(func=_cmd_sweep)
 
     exp = sub.add_parser(
-        "exp", help="run a declarative experiment spec file"
+        "exp",
+        help="run a declarative experiment spec file",
+        description="Run a declarative experiment spec file end-to-end. "
+        "Per-spec failures (poison specs, timeouts, worker deaths that "
+        "survive --retries) do not abort the sweep: every other spec "
+        "completes and persists, the failures are tabulated, and the "
+        "exit code is 3. Exit codes: 0 = all specs completed, 2 = "
+        "usage/configuration error, 3 = one or more specs failed after "
+        "retries, 130 = interrupted (completed results are persisted).",
     )
     exp.add_argument("specfile", help="JSON spec file (see repro.exp.specfile)")
     _add_exec(exp)
@@ -323,6 +476,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec(paper)
     paper.set_defaults(func=_cmd_paper)
 
+    store = sub.add_parser(
+        "store",
+        help="verify / compact a JSONL result store",
+        description="Maintain a campaign's JSONL result store. "
+        "`verify` audits the file line by line (corrupt, superseded, "
+        "blank and failure rows) without modifying it and exits 1 when "
+        "corruption is found; `compact` rewrites the store atomically, "
+        "keeping the last result per key (plus live failure rows) and "
+        "moving corrupt lines to the .quarantine sidecar.",
+    )
+    store.add_argument("action", choices=["verify", "compact"])
+    store.add_argument(
+        "path", help="store directory or .jsonl file (as given to --store)"
+    )
+    store.set_defaults(func=_cmd_store)
+
     info = sub.add_parser("info", help="show workload parameters")
     _add_common(info)
     info.set_defaults(func=_cmd_info)
@@ -330,10 +499,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Exit codes: 0 success; 1 ``store verify`` found corruption; 2
+    usage/configuration error; 3 sweep completed with failed specs;
+    130 interrupted (completed results are persisted).
+    """
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        # The runner drains on SIGINT/SIGTERM: in-flight simulations
+        # finished and persisted before this propagated.
+        print(
+            "interrupted — completed results are persisted; rerun to "
+            "resume",
+            file=sys.stderr,
+        )
+        return 130
+    except SweepFailure as failure:
+        # run/sweep/paper surface sweep failures here (exp renders its
+        # own table alongside the partial summary).
+        print(_failure_table(failure.failures), file=sys.stderr)
+        print(f"error: {failure}", file=sys.stderr)
+        return 3
     except (ReproError, OSError, ValueError) as exc:
         # User-input problems (bad spec files, unknown fields or values,
         # unreadable paths — json.JSONDecodeError is a ValueError) end as

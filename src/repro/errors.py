@@ -29,3 +29,20 @@ class SimulationError(ReproError):
     This always indicates a bug (e.g. a thread scheduled on two cores at
     once); it is never an expected runtime condition.
     """
+
+
+class SweepFailure(ReproError):
+    """Raised when a sweep finished but some specs ultimately failed.
+
+    The :class:`~repro.exp.runner.Runner` isolates per-spec failures
+    (poison specs, exhausted retries, timeouts) so the rest of the
+    sweep completes and persists; this exception is raised *afterwards*
+    to report what was lost. ``failures`` holds the terminal
+    :class:`~repro.exp.pool.SpecOutcome` per failed spec; ``results``
+    is the input-aligned result list with ``None`` at failed positions.
+    """
+
+    def __init__(self, message: str, failures=None, results=None):
+        super().__init__(message)
+        self.failures = list(failures or [])
+        self.results = results

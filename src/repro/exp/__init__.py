@@ -15,6 +15,7 @@ Specs are frozen and content-hashed; the runner fans out over processes
 and the store makes repeated sweeps incremental.
 """
 
+from repro.exp.faults import FaultPlan, active_plan, parse_fault_spec
 from repro.exp.figures import (
     Figure,
     FigureRow,
@@ -23,6 +24,7 @@ from repro.exp.figures import (
     register_figure,
     select_figures,
 )
+from repro.exp.pool import FaultTolerantPool, SpecOutcome
 from repro.exp.runner import Runner, RunnerStats
 from repro.exp.spec import (
     ExperimentSpec,
@@ -34,7 +36,12 @@ from repro.exp.spec import (
 )
 from repro.exp.specfile import load_spec_file
 from repro.exp.store import (
+    LoadReport,
     ResultStore,
+    StoreAudit,
+    audit_store,
+    compact_store,
+    resolve_store_path,
     result_from_dict,
     result_to_dict,
     result_to_json,
@@ -43,18 +50,28 @@ from repro.exp.summarize import summarize
 
 __all__ = [
     "ExperimentSpec",
+    "FaultPlan",
+    "FaultTolerantPool",
     "Figure",
     "FigureRow",
+    "LoadReport",
     "ResultStore",
     "Runner",
     "RunnerStats",
+    "SpecOutcome",
+    "StoreAudit",
+    "active_plan",
+    "audit_store",
+    "compact_store",
     "figure_names",
     "get_figure",
     "grid",
     "load_spec_file",
+    "parse_fault_spec",
     "register_figure",
     "select_figures",
     "product",
+    "resolve_store_path",
     "result_from_dict",
     "result_to_dict",
     "result_to_json",

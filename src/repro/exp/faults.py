@@ -1,0 +1,212 @@
+"""Deterministic fault injection for the execution layer.
+
+Chaos testing only works when every recovery path can be exercised on
+demand, repeatably. This module turns the environment variable
+``REPRO_FAULT`` into a :class:`FaultPlan` that the worker entry point and
+the :class:`~repro.exp.store.ResultStore` consult at their natural
+failure points::
+
+    REPRO_FAULT=crash:0.3,hang:0.1,torn_write:0.25
+    REPRO_FAULT_SEED=42
+
+Three fault kinds are understood:
+
+``crash``
+    the worker process dies with ``os._exit`` mid-task (models OOM
+    kills, segfaults in native code, a machine rebooting under a
+    distributed runner).
+``hang``
+    the worker sleeps ``REPRO_FAULT_HANG_S`` seconds (default 3600)
+    before simulating — long enough that any configured per-spec
+    timeout fires first (models livelock / a poisoned spec that never
+    terminates).
+``torn_write``
+    the store writes only a prefix of the JSONL line and no newline
+    (models a crash or power loss mid-append).
+
+Each rule is ``kind:probability`` with an optional ``@n`` suffix that
+restricts injection to attempts ``< n``, so ``crash:1@1`` crashes the
+first attempt of every spec and lets the retry succeed — the exact shape
+the recovery-matrix tests need.
+
+Decisions are *deterministic*: whether a fault fires for a given
+``(kind, spec key, attempt)`` is a pure function of the seed, so a
+seeded chaos run injects the identical fault schedule however the pool
+interleaves workers, and CI chaos legs cannot flake. (``torn_write``
+keys on a per-process append counter instead of an attempt number,
+since the store has no notion of retries.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+    "inject_worker_faults",
+    "parse_fault_spec",
+]
+
+#: Exit status of a worker killed by an injected crash — distinctive so
+#: pool diagnostics can tell an injected death from a real one.
+CRASH_EXIT_CODE = 87
+
+KINDS = ("crash", "hang", "torn_write")
+
+# Per-process count of torn_write decisions per store key: the nth append
+# of a key rolls independently of the (n-1)th, so a store retrying an
+# append (or a resumed run re-recording a row) is not doomed to tear the
+# same key forever within one process.
+_torn_rolls: dict[str, int] = defaultdict(int)
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One ``kind:probability[@max_attempts]`` clause."""
+
+    kind: str
+    probability: float
+    #: Inject only while ``attempt < max_attempts`` (``None`` = always).
+    max_attempts: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed, seeded fault schedule."""
+
+    rules: tuple[FaultRule, ...]
+    seed: int = 0
+    hang_seconds: float = 3600.0
+
+    def rule(self, kind: str) -> Optional[FaultRule]:
+        for rule in self.rules:
+            if rule.kind == kind:
+                return rule
+        return None
+
+    def should(self, kind: str, key: str, attempt: int = 0) -> bool:
+        """Deterministic roll: does ``kind`` fire for (key, attempt)?"""
+        rule = self.rule(kind)
+        if rule is None:
+            return False
+        if rule.max_attempts is not None and attempt >= rule.max_attempts:
+            return False
+        if rule.probability >= 1.0:
+            return True
+        digest = hashlib.sha256(
+            f"{self.seed}:{kind}:{key}:{attempt}".encode("utf-8")
+        ).digest()
+        roll = int.from_bytes(digest[:8], "big") / 2.0**64
+        return roll < rule.probability
+
+    def should_tear(self, key: str) -> bool:
+        """Roll for a torn store append (per-process append counter)."""
+        if self.rule("torn_write") is None:
+            return False
+        n = _torn_rolls[key]
+        _torn_rolls[key] = n + 1
+        return self.should("torn_write", key, n)
+
+
+def parse_fault_spec(
+    text: str, seed: int = 0, hang_seconds: float = 3600.0
+) -> FaultPlan:
+    """Parse ``crash:0.3,hang:0.1@1,...`` into a :class:`FaultPlan`.
+
+    Raises:
+        ConfigurationError: for unknown kinds, bad probabilities, or a
+            malformed clause — a chaos run with a typo'd profile must
+            fail loudly, not silently inject nothing.
+    """
+    rules = []
+    for clause in text.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        kind, sep, rest = clause.partition(":")
+        if not sep:
+            raise ConfigurationError(
+                f"bad REPRO_FAULT clause {clause!r}: expected "
+                "kind:probability[@max_attempts]"
+            )
+        prob_text, at, attempts_text = rest.partition("@")
+        try:
+            probability = float(prob_text)
+        except ValueError:
+            raise ConfigurationError(
+                f"bad REPRO_FAULT probability {prob_text!r} in {clause!r}"
+            ) from None
+        max_attempts = None
+        if at:
+            try:
+                max_attempts = int(attempts_text)
+            except ValueError:
+                raise ConfigurationError(
+                    f"bad REPRO_FAULT attempt bound {attempts_text!r} "
+                    f"in {clause!r}"
+                ) from None
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown REPRO_FAULT kind {kind!r}; known: {list(KINDS)}"
+            )
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError(
+                f"REPRO_FAULT probability must be in [0, 1], got "
+                f"{probability} in {clause!r}"
+            )
+        rules.append(FaultRule(kind, probability, max_attempts))
+    return FaultPlan(tuple(rules), seed=seed, hang_seconds=hang_seconds)
+
+
+# (env string, seed string, hang string) -> plan, so repeated calls on
+# the put/dispatch paths cost two dict lookups, and tests that
+# monkeypatch the environment are picked up immediately.
+_plan_cache: dict[tuple, Optional[FaultPlan]] = {}
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan described by ``REPRO_FAULT``, or ``None`` when unset."""
+    signature = (
+        os.environ.get("REPRO_FAULT", ""),
+        os.environ.get("REPRO_FAULT_SEED", "0"),
+        os.environ.get("REPRO_FAULT_HANG_S", ""),
+    )
+    if signature in _plan_cache:
+        return _plan_cache[signature]
+    text, seed_text, hang_text = signature
+    if not text.strip():
+        plan = None
+    else:
+        plan = parse_fault_spec(
+            text,
+            seed=int(seed_text or "0"),
+            hang_seconds=float(hang_text) if hang_text else 3600.0,
+        )
+    _plan_cache[signature] = plan
+    return plan
+
+
+def inject_worker_faults(key: str, attempt: int) -> None:
+    """Worker-side injection point, called before simulating a spec.
+
+    A ``crash`` kills the process the way a real worker death looks to
+    the parent (no exception, no unwind — the pipe just closes); a
+    ``hang`` sleeps so a per-spec timeout has something to kill.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.should("crash", key, attempt):
+        os._exit(CRASH_EXIT_CODE)
+    if plan.should("hang", key, attempt):
+        time.sleep(plan.hang_seconds)

@@ -1,0 +1,436 @@
+"""Fault-tolerant worker pool for experiment execution.
+
+``multiprocessing.Pool`` assumes workers never die: a SIGKILL'd worker
+hangs ``imap_unordered`` forever, and a hung simulation cannot be killed
+at all because the pool does not know which worker holds which task.
+This pool keeps that mapping explicit — one dedicated process per
+worker, one duplex pipe each, tasks dispatched one at a time — which is
+what makes the recovery matrix implementable:
+
+* **worker death** (crash, OOM kill) → the pipe closes, the parent sees
+  EOF, respawns a fresh worker, and retries the task with exponential
+  backoff + deterministic jitter, up to ``retries`` times;
+* **hang** → the parent tracks a per-task deadline; on expiry it kills
+  exactly the offending worker, respawns it, and reports the task as
+  ``timed_out`` (terminal — a deterministic hang would only hang
+  again);
+* **poison spec** (exception inside the engine) → the worker reports
+  the error over the pipe; after retries the task is reported failed
+  while every other spec proceeds;
+* **SIGINT/SIGTERM** → the first signal drains: no new dispatches,
+  in-flight tasks finish and their results are yielded (the caller
+  persists them), then the run stops. A second signal aborts in-flight
+  work immediately. Workers ignore SIGINT so a terminal Ctrl-C (which
+  signals the whole process group) still drains instead of killing
+  workers mid-task.
+
+Outcomes are yielded as they complete, in arbitrary order, so the
+caller can persist incrementally — an interrupted campaign keeps every
+simulation it finished.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import connection as mp_connection
+from typing import Iterator, Optional, Sequence
+
+from repro.exp.spec import ExperimentSpec
+
+#: Upper bound on one scheduler wait, so deadline checks and drain
+#: signals are honoured promptly even while every worker is busy.
+_TICK_SECONDS = 0.2
+
+#: Grace given to a SIGTERM'd worker before escalating to SIGKILL.
+_TERM_GRACE_SECONDS = 0.5
+
+
+@dataclass
+class SpecOutcome:
+    """Terminal fate of one spec: a result payload or a failure."""
+
+    key: str
+    spec: ExperimentSpec
+    ok: bool
+    #: ``result_to_dict`` payload (successes only).
+    payload: Optional[dict] = None
+    #: Simulation seconds of the successful attempt.
+    seconds: float = 0.0
+    #: Total attempts executed (1 = no retries needed).
+    attempts: int = 1
+    #: Failure classification: ``error`` (exception inside the engine),
+    #: ``worker-death`` (process died mid-task), ``timeout``.
+    kind: Optional[str] = None
+    error: Optional[str] = None
+
+    def failure_record(self) -> dict:
+        """The structured row :meth:`ResultStore.put_failure` persists."""
+        return {
+            "kind": self.kind,
+            "error": self.error,
+            "attempts": self.attempts,
+            "label": self.spec.display_label(),
+            "variant": self.spec.variant,
+            "workload": self.spec.workload,
+        }
+
+
+@dataclass
+class _Task:
+    key: str
+    spec: ExperimentSpec
+    attempts: int = 0
+    not_before: float = 0.0
+
+
+def _worker_main(conn, explicit) -> None:
+    """Worker loop: receive ``(key, spec, attempt)``, simulate, reply.
+
+    SIGINT is ignored (the parent coordinates draining); SIGTERM keeps
+    its default fatal disposition so the parent's timeout kill works.
+    Exceptions are reported over the pipe, never raised — a poison spec
+    must cost one task, not one worker.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    # Imported here, not at module top: under fork the worker inherits
+    # the parent's loaded modules anyway, and under spawn this keeps the
+    # import cost in the child.
+    from repro.exp import runner as runner_mod
+
+    runner_mod._init_worker(explicit)
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        if task is None:
+            break
+        key, spec, attempt = task
+        try:
+            _, payload, seconds = runner_mod._run_spec(spec, attempt)
+            reply = ("done", key, payload, seconds)
+        except Exception as exc:
+            reply = ("error", key, f"{type(exc).__name__}: {exc}", 0.0)
+        try:
+            conn.send(reply)
+        except (BrokenPipeError, OSError):
+            break  # parent gave up on us (timeout kill / shutdown)
+    conn.close()
+
+
+class _Worker:
+    """One dedicated worker process plus its command pipe."""
+
+    def __init__(self, ctx, explicit, wid: int) -> None:
+        self.conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, explicit),
+            name=f"repro-exp-worker-{wid}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+
+    def kill(self) -> None:
+        """Terminate (then kill) the process and release the pipe."""
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(_TERM_GRACE_SECONDS)
+            if self.process.is_alive():  # pragma: no cover - stubborn child
+                self.process.kill()
+                self.process.join(_TERM_GRACE_SECONDS)
+        self.conn.close()
+
+    def join_or_kill(self) -> None:
+        self.process.join(_TERM_GRACE_SECONDS)
+        if self.process.is_alive():  # pragma: no cover - defensive
+            self.process.kill()
+            self.process.join(_TERM_GRACE_SECONDS)
+
+
+def _backoff_delay(base: float, key: str, attempt: int) -> float:
+    """Exponential backoff with deterministic jitter in [1.0, 1.5)x.
+
+    The jitter decorrelates retry storms across specs (every task that
+    died with one worker would otherwise retry in lockstep) while
+    staying a pure function of (key, attempt) so scheduling is
+    reproducible.
+    """
+    digest = hashlib.sha256(f"{key}:{attempt}".encode("utf-8")).digest()
+    jitter = 1.0 + (digest[0] / 256.0) * 0.5
+    return base * (2.0 ** (attempt - 1)) * jitter
+
+
+class FaultTolerantPool:
+    """Run specs across dedicated worker processes, surviving faults.
+
+    Args:
+        ctx: multiprocessing context (fork on Linux — workers inherit
+            the explicit-trace dict zero-copy).
+        n_workers: dedicated worker processes.
+        explicit: trace fingerprint -> Trace, shipped to every worker.
+        retries: re-dispatches allowed per task after a transient
+            failure (worker death or in-task exception).
+        timeout: per-spec wall-clock seconds before the worker is
+            killed and the task reported ``timed_out`` (None = never).
+        backoff: base seconds for the exponential retry backoff.
+    """
+
+    def __init__(
+        self,
+        ctx,
+        n_workers: int,
+        explicit: dict,
+        *,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+        backoff: float = 0.25,
+    ) -> None:
+        self._ctx = ctx
+        self._explicit = explicit
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        self.backoff = backoff
+        #: Retry dispatches performed (for RunnerStats.retried).
+        self.retried = 0
+        #: Drain requested (first SIGINT/SIGTERM): finish in-flight
+        #: tasks, drop undispatched ones, then stop.
+        self.draining = False
+        #: Hard abort (second signal): stop without waiting.
+        self.aborted = False
+        #: Which signal triggered the drain, for the caller's re-raise.
+        self.interrupted: Optional[int] = None
+        self._queue: deque[_Task] = deque()
+        self._waiting: list[_Task] = []  # backing off until not_before
+        self._next_wid = 0
+        self._workers: list[_Worker] = [
+            self._spawn() for _ in range(max(1, n_workers))
+        ]
+        self._idle: list[_Worker] = list(self._workers)
+
+    def _spawn(self) -> _Worker:
+        self._next_wid += 1
+        return _Worker(self._ctx, self._explicit, self._next_wid)
+
+    # -- signal handling ------------------------------------------------
+
+    def _install_signals(self):
+        """Route SIGINT/SIGTERM to the drain flag (main thread only)."""
+        if threading.current_thread() is not threading.main_thread():
+            return {}
+
+        def _on_signal(signum, frame):
+            if self.draining:
+                self.aborted = True
+            self.draining = True
+            self.interrupted = signum
+
+        previous = {}
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous[signum] = signal.signal(signum, _on_signal)
+        return previous
+
+    @staticmethod
+    def _restore_signals(previous) -> None:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+    # -- the scheduler loop ---------------------------------------------
+
+    def run(
+        self, tasks: Sequence[tuple[str, ExperimentSpec]]
+    ) -> Iterator[SpecOutcome]:
+        """Yield a terminal :class:`SpecOutcome` per task as they finish."""
+        self._queue = deque(_Task(key, spec) for key, spec in tasks)
+        self._waiting = []
+        previous = self._install_signals()
+        try:
+            while self._queue or self._waiting or self._busy():
+                if self.aborted:
+                    break
+                if self.draining:
+                    self._queue.clear()
+                    self._waiting.clear()
+                    if not self._busy():
+                        break
+                now = time.monotonic()
+                self._waiting.sort(key=lambda t: t.not_before)
+                while self._waiting and self._waiting[0].not_before <= now:
+                    self._queue.append(self._waiting.pop(0))
+                while self._queue and self._idle and not self.draining:
+                    self._dispatch(self._queue.popleft(), now)
+                yield from self._collect(self._wait_budget(now))
+                yield from self._expire_deadlines()
+        finally:
+            self._restore_signals(previous)
+            self.close()
+
+    def _busy(self) -> list[_Worker]:
+        return [w for w in self._workers if w.task is not None]
+
+    def _wait_budget(self, now: float) -> float:
+        """How long the next pipe wait may block."""
+        budget = _TICK_SECONDS
+        for worker in self._busy():
+            if worker.deadline is not None:
+                budget = min(budget, worker.deadline - now)
+        if self._waiting:
+            budget = min(budget, self._waiting[0].not_before - now)
+        return max(0.0, budget)
+
+    def _dispatch(self, task: _Task, now: float) -> None:
+        worker = self._idle.pop()
+        try:
+            worker.conn.send((task.key, task.spec, task.attempts))
+        except (BrokenPipeError, OSError):
+            # The idle worker died behind our back (e.g. OOM killer):
+            # replace it and put the task back; the next loop iteration
+            # re-dispatches. Does not count as one of the task's
+            # attempts — the spec never started running.
+            self._replace(worker)
+            self._queue.appendleft(task)
+            return
+        worker.task = task
+        worker.deadline = (
+            now + self.timeout if self.timeout is not None else None
+        )
+
+    def _collect(self, budget: float) -> Iterator[SpecOutcome]:
+        """Wait up to ``budget`` for worker messages; yield outcomes."""
+        busy = self._busy()
+        if not busy:
+            if budget > 0 and (self._waiting or self.draining):
+                time.sleep(min(budget, _TICK_SECONDS))
+            return
+        conn_to_worker = {w.conn: w for w in busy}
+        try:
+            ready = mp_connection.wait(list(conn_to_worker), timeout=budget)
+        except OSError:  # pragma: no cover - race with a dying pipe
+            ready = []
+        for conn in ready:
+            worker = conn_to_worker[conn]
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                yield from self._on_worker_death(worker)
+                continue
+            yield from self._on_message(worker, message)
+
+    def _on_message(self, worker: _Worker, message) -> Iterator[SpecOutcome]:
+        status, _key, payload, seconds = message
+        task = worker.task
+        worker.task, worker.deadline = None, None
+        self._idle.append(worker)
+        if task is None:  # pragma: no cover - stale reply after respawn
+            return
+        if status == "done":
+            yield SpecOutcome(
+                key=task.key,
+                spec=task.spec,
+                ok=True,
+                payload=payload,
+                seconds=seconds,
+                attempts=task.attempts + 1,
+            )
+        else:
+            yield from self._retry_or_fail(task, "error", payload)
+
+    def _on_worker_death(self, worker: _Worker) -> Iterator[SpecOutcome]:
+        """The pipe closed mid-task: respawn and retry the task."""
+        task = worker.task
+        worker.task = None
+        # Reap the corpse before reading its exit status — at pipe-EOF
+        # time the process may not have been waited on yet.
+        worker.process.join(_TERM_GRACE_SECONDS)
+        exitcode = worker.process.exitcode
+        self._replace(worker)
+        if task is None:  # pragma: no cover - death while idle
+            return
+        yield from self._retry_or_fail(
+            task,
+            "worker-death",
+            f"worker process died mid-task (exit code {exitcode})",
+        )
+
+    def _retry_or_fail(
+        self, task: _Task, kind: str, error: str
+    ) -> Iterator[SpecOutcome]:
+        task.attempts += 1
+        if task.attempts > self.retries:
+            yield SpecOutcome(
+                key=task.key,
+                spec=task.spec,
+                ok=False,
+                attempts=task.attempts,
+                kind=kind,
+                error=error,
+            )
+            return
+        self.retried += 1
+        task.not_before = time.monotonic() + _backoff_delay(
+            self.backoff, task.key, task.attempts
+        )
+        self._waiting.append(task)
+
+    def _expire_deadlines(self) -> Iterator[SpecOutcome]:
+        """Kill workers whose task blew its wall-clock budget.
+
+        Timeouts are terminal, not retried: hangs are overwhelmingly
+        deterministic (a poisoned spec hangs again), and retrying one
+        would stall the sweep for another full timeout per retry.
+        """
+        now = time.monotonic()
+        for worker in self._busy():
+            if worker.deadline is None or now < worker.deadline:
+                continue
+            task = worker.task
+            worker.task = None
+            self._replace(worker, kill=True)
+            yield SpecOutcome(
+                key=task.key,
+                spec=task.spec,
+                ok=False,
+                attempts=task.attempts + 1,
+                kind="timeout",
+                error=(
+                    f"spec exceeded the {self.timeout:g}s wall-clock "
+                    "timeout; worker killed"
+                ),
+            )
+
+    def _replace(self, worker: _Worker, kill: bool = False) -> None:
+        if kill:
+            worker.kill()
+        else:
+            worker.conn.close()
+            worker.join_or_kill()
+        self._workers.remove(worker)
+        if worker in self._idle:
+            self._idle.remove(worker)
+        fresh = self._spawn()
+        self._workers.append(fresh)
+        self._idle.append(fresh)
+
+    def close(self) -> None:
+        """Shut every worker down; in-flight work is terminated."""
+        for worker in self._workers:
+            if worker.task is not None:
+                worker.kill()
+                continue
+            try:
+                worker.conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+            worker.conn.close()
+            worker.join_or_kill()
+        self._workers.clear()
+        self._idle.clear()

@@ -3,20 +3,28 @@
 The :class:`Runner` takes a list of :class:`ExperimentSpec` and returns
 one :class:`SimulationResult` per spec, in order. Specs whose key is
 already in the :class:`ResultStore` are served from it; the rest are
-deduplicated and fanned out over ``multiprocessing`` workers (or run
-inline for ``jobs=1`` / single-spec calls, where a pool would only add
-overhead).
+deduplicated and fanned out over worker processes (or run inline for
+``jobs=1`` / single-spec calls, where a pool would only add overhead).
+
+Execution is *fault-tolerant* (see :mod:`repro.exp.pool`): a worker
+death or an exception inside the engine costs one bounded-backoff retry
+of that spec, a per-spec wall-clock ``timeout`` kills hung simulations,
+and a poison spec that exhausts its retries fails only its own row —
+recorded as a structured failure in the store and in
+:class:`RunnerStats` — while the rest of the sweep completes, after
+which :class:`~repro.errors.SweepFailure` reports what was lost.
+``SIGINT``/``SIGTERM`` drain gracefully: in-flight simulations finish
+and persist before the run stops.
 
 Each worker process builds every distinct trace at most once: declarative
 specs regenerate it from ``(workload, scale, n_threads, seed)`` via the
 deterministic generators, while explicit traces (specs built with
 :func:`~repro.exp.spec.spec_for`) are shipped to the workers once at pool
 start. On Linux the pool forks, so the parent materialises every trace's
-replay tables first and workers inherit them zero-copy; task dispatch
-uses an adaptive chunksize instead of one round-trip per spec.
-Simulation itself is deterministic given the trace and config, so
-results are identical whatever the job count — the test suite pins that
-with a byte-identical-JSON guard.
+replay tables first and workers inherit them zero-copy. Simulation
+itself is deterministic given the trace and config, so results are
+identical whatever the job count — the test suite pins that with a
+byte-identical-JSON guard.
 """
 
 from __future__ import annotations
@@ -27,7 +35,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, Optional, Sequence
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SweepFailure
+from repro.exp import faults
+from repro.exp.pool import FaultTolerantPool, SpecOutcome, _backoff_delay
 from repro.exp.spec import ExperimentSpec, trace_fingerprint
 from repro.exp.store import ResultStore, result_from_dict, result_to_dict
 from repro.params import ScalePreset
@@ -78,17 +88,22 @@ def _trace_for(spec: ExperimentSpec) -> Trace:
     return trace
 
 
-def _run_spec(spec: ExperimentSpec) -> tuple[str, dict, float]:
+def _run_spec(spec: ExperimentSpec, attempt: int = 0) -> tuple[str, dict, float]:
     """Worker entry point: simulate one spec, return
     ``(key, result dict, seconds)``.
 
     Results cross the process boundary as plain dicts so fresh and
     store-loaded rows take the identical deserialisation path; the
-    per-spec wall time feeds :class:`RunnerStats` timing.
+    per-spec wall time feeds :class:`RunnerStats` timing. ``attempt``
+    only feeds the fault-injection harness — chaos runs key their
+    deterministic crash/hang schedule on (spec key, attempt) so a retry
+    can be scheduled to succeed where the first attempt was killed.
     """
+    key = spec.key()
+    faults.inject_worker_faults(key, attempt)
     t0 = time.perf_counter()
     result = simulate(_trace_for(spec), config=spec.config)
-    return spec.key(), result_to_dict(result), time.perf_counter() - t0
+    return key, result_to_dict(result), time.perf_counter() - t0
 
 
 @dataclass
@@ -97,6 +112,9 @@ class RunnerStats:
 
     ``cached`` counts input specs answered without simulating (store hits
     plus intra-call duplicates); ``simulated`` counts actual engine runs.
+    ``failed`` counts specs with no result after all retries (of which
+    ``timed_out`` were killed by the per-spec timeout); ``retried``
+    counts extra attempts spent recovering from transient failures.
     ``wall_seconds`` is the end-to-end duration of the ``run()`` call,
     ``sim_seconds`` the summed per-spec simulation time (under parallel
     workers ``sim_seconds`` exceeds ``wall_seconds``; their ratio is the
@@ -106,6 +124,9 @@ class RunnerStats:
 
     simulated: int = 0
     cached: int = 0
+    failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
     wall_seconds: float = 0.0
     sim_seconds: float = 0.0
     spec_seconds: dict[str, float] = field(default_factory=dict)
@@ -113,6 +134,9 @@ class RunnerStats:
     def add(self, other: "RunnerStats") -> None:
         self.simulated += other.simulated
         self.cached += other.cached
+        self.failed += other.failed
+        self.retried += other.retried
+        self.timed_out += other.timed_out
         self.wall_seconds += other.wall_seconds
         self.sim_seconds += other.sim_seconds
         self.spec_seconds.update(other.spec_seconds)
@@ -124,17 +148,37 @@ class Runner:
     Args:
         store: result cache; defaults to a fresh in-memory store.
         jobs: worker processes for fan-out (1 = run inline).
+        retries: bounded retries per spec for transient failures
+            (worker death, an exception inside the engine); retry
+            delays grow exponentially from ``backoff`` seconds with
+            deterministic jitter.
+        timeout: per-spec wall-clock seconds before a hung simulation's
+            worker is killed and the spec marked ``timed_out``
+            (``None`` = no limit). Enforcement needs a killable worker
+            process, so a timeout routes even ``jobs=1`` runs through
+            the pool.
+        backoff: base seconds of the exponential retry backoff.
     """
 
     def __init__(
-        self, store: Optional[ResultStore] = None, jobs: int = 1
+        self,
+        store: Optional[ResultStore] = None,
+        jobs: int = 1,
+        retries: int = 2,
+        timeout: Optional[float] = None,
+        backoff: float = 0.25,
     ) -> None:
         self.store = store if store is not None else ResultStore()
         self.jobs = max(1, int(jobs))
+        self.retries = max(0, int(retries))
+        self.timeout = timeout
+        self.backoff = backoff
         #: Cumulative counts across all ``run()`` calls.
         self.stats = RunnerStats()
         #: Counts for the most recent ``run()`` call.
         self.last_stats = RunnerStats()
+        #: Terminal failures of the most recent ``run()`` call.
+        self.last_failures: list[SpecOutcome] = []
 
     def run(
         self,
@@ -147,6 +191,14 @@ class Runner:
         Duplicate keys within one call are simulated once. Explicit
         traces referenced by any spec's ``trace_id`` must be passed via
         ``trace`` (one) or ``traces`` (several).
+
+        Raises:
+            SweepFailure: after the whole sweep has been driven to
+                completion, if any spec still has no result — every
+                completed row is already persisted, so a rerun retries
+                only the failed specs.
+            KeyboardInterrupt: after a graceful SIGINT/SIGTERM drain;
+                results completed before the drain are persisted.
         """
         t_start = time.perf_counter()
         specs = list(specs)
@@ -186,38 +238,66 @@ class Runner:
 
         # Results persist as they arrive (not after the whole batch), so
         # an interrupted campaign keeps every simulation it finished.
-        for key, payload, seconds in self._execute(
-            list(pending.values()), explicit
-        ):
-            result = result_from_dict(payload)
-            served[key] = result
-            self.store.put(key, result, spec=pending[key])
-            stats.simulated += 1
-            stats.sim_seconds += seconds
-            stats.spec_seconds[key] = seconds
-
-        stats.wall_seconds = time.perf_counter() - t_start
-        self.last_stats = stats
-        self.stats.add(stats)
+        failures: list[SpecOutcome] = []
+        self.last_failures = failures
+        try:
+            for outcome in self._execute(list(pending.values()), explicit):
+                stats.retried += outcome.attempts - 1
+                if outcome.ok:
+                    result = result_from_dict(outcome.payload)
+                    served[outcome.key] = result
+                    self.store.put(
+                        outcome.key, result, spec=pending[outcome.key]
+                    )
+                    stats.simulated += 1
+                    stats.sim_seconds += outcome.seconds
+                    stats.spec_seconds[outcome.key] = outcome.seconds
+                else:
+                    stats.failed += 1
+                    if outcome.kind == "timeout":
+                        stats.timed_out += 1
+                    self.store.put_failure(
+                        outcome.key,
+                        outcome.failure_record(),
+                        spec=pending[outcome.key],
+                    )
+                    failures.append(outcome)
+        finally:
+            stats.wall_seconds = time.perf_counter() - t_start
+            self.last_stats = stats
+            self.stats.add(stats)
+        if failures:
+            names = ", ".join(
+                f"{o.spec.display_label()} ({o.kind})" for o in failures[:5]
+            )
+            more = "" if len(failures) <= 5 else f", +{len(failures) - 5} more"
+            raise SweepFailure(
+                f"{len(failures)} of {len(pending)} spec(s) failed after "
+                f"retries: {names}{more}",
+                failures=failures,
+                results=[served.get(key) for key in keys],
+            )
         return [served[key] for key in keys]
 
     def _execute(
         self, pending: list[ExperimentSpec], explicit: dict[str, Trace]
-    ) -> Iterator[tuple[str, dict, float]]:
-        """Yield (key, result dict, seconds) as simulations complete, in
-        arbitrary order — the caller realigns by key and persists
-        incrementally."""
+    ) -> Iterator[SpecOutcome]:
+        """Yield a terminal :class:`SpecOutcome` per pending spec as
+        simulations complete, in arbitrary order — the caller realigns
+        by key and persists incrementally."""
         if not pending:
             return
-        if self.jobs == 1 or len(pending) == 1:
-            global _EXPLICIT
-            previous = _EXPLICIT
-            _EXPLICIT = explicit
-            try:
-                for spec in pending:
-                    yield _run_spec(spec)
-            finally:
-                _EXPLICIT = previous
+        # Inline fast path: no pool process when nothing needs one. A
+        # timeout needs a killable worker, and an active fault plan
+        # needs a worker whose death is survivable, so both route
+        # through the pool even at jobs=1.
+        inline = (
+            (self.jobs == 1 or len(pending) == 1)
+            and self.timeout is None
+            and faults.active_plan() is None
+        )
+        if inline:
+            yield from self._execute_inline(pending, explicit)
             return
         # Prefer fork on Linux: workers inherit explicit traces for free
         # instead of re-pickling them. Elsewhere (macOS/Windows) fork is
@@ -249,27 +329,66 @@ class Runner:
             self._materialise_batch_tables(pending, explicit)
         else:
             ctx = multiprocessing.get_context()
-        n_workers = min(self.jobs, len(pending))
-        # Adaptive chunking: one task per dispatch (chunksize=1) pays
-        # queue and pickling overhead per spec, which dominates sweeps
-        # of short simulations. Aim for ~4 chunks per worker — enough
-        # slack for uneven spec durations, far fewer dispatches. With a
-        # *persistent* store, stay at chunksize=1: results only reach
-        # the parent (and the JSONL file) per completed chunk, and the
-        # incremental-persistence guarantee — an interrupted campaign
-        # keeps every simulation it finished — outranks dispatch
-        # overhead there. In-memory stores lose everything on interrupt
-        # anyway, so they take the chunking win.
-        if self.store.path is not None:
-            chunksize = 1
-        else:
-            chunksize = max(1, len(pending) // (n_workers * 4))
-        with ctx.Pool(
-            n_workers, initializer=_init_worker, initargs=(explicit,)
-        ) as pool:
-            yield from pool.imap_unordered(
-                _run_spec, pending, chunksize=chunksize
-            )
+        pool = FaultTolerantPool(
+            ctx,
+            min(self.jobs, len(pending)),
+            explicit,
+            retries=self.retries,
+            timeout=self.timeout,
+            backoff=self.backoff,
+        )
+        try:
+            yield from pool.run([(spec.key(), spec) for spec in pending])
+        finally:
+            pool.close()
+        if pool.interrupted is not None:
+            # Completed outcomes were already yielded (and persisted by
+            # the caller); surface the drain as the interrupt it was.
+            raise KeyboardInterrupt
+
+    def _execute_inline(
+        self, pending: list[ExperimentSpec], explicit: dict[str, Trace]
+    ) -> Iterator[SpecOutcome]:
+        """Single-process execution with the same retry semantics.
+
+        Worker death cannot happen inline (there is no worker), so the
+        retry loop only sees engine exceptions; timeouts are pool-only.
+        """
+        global _EXPLICIT
+        previous = _EXPLICIT
+        _EXPLICIT = explicit
+        try:
+            for spec in pending:
+                key = spec.key()
+                attempt = 0
+                while True:
+                    try:
+                        _, payload, seconds = _run_spec(spec, attempt)
+                    except Exception as exc:
+                        attempt += 1
+                        if attempt > self.retries:
+                            yield SpecOutcome(
+                                key=key,
+                                spec=spec,
+                                ok=False,
+                                attempts=attempt,
+                                kind="error",
+                                error=f"{type(exc).__name__}: {exc}",
+                            )
+                            break
+                        time.sleep(_backoff_delay(self.backoff, key, attempt))
+                        continue
+                    yield SpecOutcome(
+                        key=key,
+                        spec=spec,
+                        ok=True,
+                        payload=payload,
+                        seconds=seconds,
+                        attempts=attempt + 1,
+                    )
+                    break
+        finally:
+            _EXPLICIT = previous
 
     @staticmethod
     def _materialise_batch_tables(

@@ -6,20 +6,49 @@ in-memory index; given a path it additionally appends one JSON line per
 new result, so repeated sweeps over overlapping grids only simulate the
 points they have not seen (the store makes campaigns *incremental*).
 
-The JSONL format is append-only — a rerun never rewrites history, and a
-crashed run leaves at worst one truncated trailing line, which loading
-skips. On load, later lines win, so a row can be superseded simply by
-appending.
+The JSONL format is append-only — a rerun never rewrites history, and on
+load later lines win, so a row can be superseded simply by appending.
+Durability guarantees (the groundwork for multi-writer campaign stores):
+
+* **Atomic appends.** Each row is one ``os.write`` of a complete line
+  followed by ``fsync``, under an advisory ``flock`` on a ``.lock``
+  sidecar, so concurrent writers never interleave bytes and a crash
+  can lose at most the row being written.
+* **Self-healing tail.** If a previous writer died mid-append (torn
+  trailing line with no newline), the next append writes a newline
+  first, so the torn fragment is isolated on its own line instead of
+  corrupting the next good row.
+* **Quarantine, not refusal.** ``_load`` skips malformed/truncated
+  lines, copies them to a ``.quarantine`` sidecar, and warns — a
+  corrupt row is re-derivable by rerunning its spec, so it must never
+  brick the whole store. ``repro store verify`` reports corruption and
+  superseded rows; ``repro store compact`` rewrites the file
+  (write-to-temp + ``os.replace``) keeping only live rows.
+
+Besides results, the store records *structured failure rows* (specs that
+exhausted their retries or timed out — see
+:class:`~repro.exp.runner.Runner`). Failures are provenance, not cache
+entries: ``get`` never serves them, so a resumed campaign retries the
+failed specs.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import asdict
+import os
+import warnings
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Iterator, Optional, Union
 
+try:  # Advisory locking is POSIX-only; the store degrades gracefully.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
 from repro.errors import ConfigurationError
+from repro.exp import faults
 from repro.sim.results import SimulationResult
 
 
@@ -42,6 +71,45 @@ def result_to_json(result: SimulationResult) -> str:
     )
 
 
+def resolve_store_path(path: Union[str, Path]) -> Path:
+    """Normalise a store argument to its backing ``*.jsonl`` file.
+
+    A directory (existing or not) maps to ``<dir>/results.jsonl``; an
+    explicit ``*.jsonl`` path is taken as-is; other file-looking paths
+    are rejected — a near-miss like ``results.json`` would otherwise
+    silently become a *directory* of that name (dotted names that
+    already exist as directories are fine).
+    """
+    path = Path(path)
+    if path.is_dir():
+        return path / "results.jsonl"
+    if path.suffix and path.suffix != ".jsonl":
+        raise ConfigurationError(
+            f"store path {path} looks like a file but is not "
+            "*.jsonl; pass a directory or a .jsonl file"
+        )
+    if path.suffix != ".jsonl":
+        return path / "results.jsonl"
+    return path
+
+
+@dataclass
+class LoadReport:
+    """What :meth:`ResultStore._load` found in the backing file."""
+
+    lines: int = 0
+    #: Blank lines (skipped silently; an editor artefact, not corruption).
+    blank: int = 0
+    #: Rows that parsed and loaded (results + failures).
+    rows: int = 0
+    #: Malformed/truncated lines, copied to the ``.quarantine`` sidecar.
+    corrupt: int = 0
+    #: Parsed rows whose key a later line superseded.
+    superseded: int = 0
+    #: Structured failure rows currently live (no later result row).
+    failures: int = 0
+
+
 class ResultStore:
     """Keyed store of simulation results, optionally backed by JSONL.
 
@@ -54,21 +122,12 @@ class ResultStore:
     def __init__(self, path: Union[str, Path, None] = None) -> None:
         self._results: dict[str, SimulationResult] = {}
         self._specs: dict[str, dict] = {}
+        self._failures: dict[str, dict] = {}
         self._path: Optional[Path] = None
+        #: Populated by the initial load of a persistent store.
+        self.load_report = LoadReport()
         if path is not None:
-            path = Path(path)
-            if path.is_dir():
-                path = path / "results.jsonl"
-            elif path.suffix and path.suffix != ".jsonl":
-                # A near-miss like --store results.json would otherwise
-                # silently become a *directory* of that name (dotted
-                # names that already exist as directories are fine).
-                raise ConfigurationError(
-                    f"store path {path} looks like a file but is not "
-                    "*.jsonl; pass a directory or a .jsonl file"
-                )
-            elif path.suffix != ".jsonl":
-                path = path / "results.jsonl"
+            path = resolve_store_path(path)
             path.parent.mkdir(parents=True, exist_ok=True)
             self._path = path
             self._load()
@@ -78,26 +137,94 @@ class ResultStore:
         """Backing JSONL file (``None`` for in-memory stores)."""
         return self._path
 
+    @property
+    def quarantine_path(self) -> Optional[Path]:
+        """Sidecar file corrupt lines are quarantined to."""
+        if self._path is None:
+            return None
+        return self._path.with_name(self._path.name + ".quarantine")
+
+    @property
+    def lock_path(self) -> Optional[Path]:
+        """Sidecar lockfile serialising appends and compaction."""
+        if self._path is None:
+            return None
+        return self._path.with_name(self._path.name + ".lock")
+
+    @contextmanager
+    def _locked(self):
+        """Hold the advisory writer lock (no-op without fcntl/a path)."""
+        if fcntl is None or self._path is None:
+            yield
+            return
+        fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)  # closing the descriptor releases the flock
+
     def _load(self) -> None:
+        report = LoadReport()
+        self.load_report = report
         if self._path is None or not self._path.exists():
             return
+        corrupt_lines: list[str] = []
         with self._path.open("r", encoding="utf-8") as fh:
-            for line in fh:
-                line = line.strip()
+            for raw in fh:
+                report.lines += 1
+                line = raw.strip()
                 if not line:
+                    report.blank += 1
                     continue
-                try:
-                    row = json.loads(line)
-                    result = result_from_dict(row["result"])
-                    key = row["key"]
-                except (json.JSONDecodeError, KeyError, TypeError):
-                    # Truncated trailing line from a crash, or a row from
-                    # an incompatible older schema: rows are re-derivable
-                    # by rerunning the spec, so skip rather than refuse
-                    # to open the whole store.
+                row = _parse_row(line)
+                if row is None:
+                    # Truncated trailing line from a crash, a torn
+                    # mid-file append, or a row from an incompatible
+                    # older schema: re-derivable by rerunning the spec,
+                    # so quarantine rather than refuse to open the store.
+                    report.corrupt += 1
+                    corrupt_lines.append(line)
                     continue
-                self._results[key] = result
-                self._specs[key] = row.get("spec") or {}
+                report.rows += 1
+                key = row["key"]
+                if "result" in row:
+                    if key in self._results:
+                        report.superseded += 1
+                    self._results[key] = result_from_dict(row["result"])
+                    self._specs[key] = row.get("spec") or {}
+                    # A fresh result supersedes any earlier failure.
+                    self._failures.pop(key, None)
+                else:
+                    if key in self._failures:
+                        report.superseded += 1
+                    self._failures[key] = row["failure"]
+        report.failures = len(self._failures)
+        if corrupt_lines:
+            self._quarantine(corrupt_lines)
+
+    def _quarantine(self, lines: list[str]) -> None:
+        """Copy corrupt lines to the sidecar (deduplicated) and warn.
+
+        The main file is left untouched — load is read-only; ``repro
+        store compact`` is the explicit operation that removes the
+        corruption from the main file.
+        """
+        sidecar = self.quarantine_path
+        seen: set[str] = set()
+        if sidecar.exists():
+            seen = set(sidecar.read_text(encoding="utf-8").splitlines())
+        fresh = [line for line in lines if line not in seen]
+        if fresh:
+            with sidecar.open("a", encoding="utf-8") as fh:
+                for line in fresh:
+                    fh.write(line + "\n")
+        warnings.warn(
+            f"{self._path}: skipped {len(lines)} corrupt line(s) "
+            f"(quarantined to {sidecar.name}); run `repro store compact "
+            f"{self._path}` to rewrite the store",
+            stacklevel=2,
+        )
 
     def get(self, key: str) -> Optional[SimulationResult]:
         """The stored result for a spec key, or ``None``."""
@@ -106,6 +233,18 @@ class ResultStore:
     def spec_info(self, key: str) -> Optional[dict]:
         """The spec dict recorded with a result (provenance), if any."""
         return self._specs.get(key)
+
+    def failure_info(self, key: str) -> Optional[dict]:
+        """The live failure record for a spec key, if any.
+
+        Cleared by a later successful ``put`` for the same key. Never
+        served as a cache hit — a resumed campaign retries failed specs.
+        """
+        return self._failures.get(key)
+
+    def failures(self) -> dict[str, dict]:
+        """All live failure records, keyed by spec key."""
+        return dict(self._failures)
 
     def put(self, key: str, result: SimulationResult, spec=None) -> None:
         """Record a result; appends to the JSONL file when persistent.
@@ -117,14 +256,73 @@ class ResultStore:
         self._results[key] = result
         spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
         self._specs[key] = spec_payload or {}
-        if self._path is not None:
-            row = {
+        self._failures.pop(key, None)
+        self._append(
+            key,
+            {
                 "key": key,
                 "spec": spec_payload,
                 "result": result_to_dict(result),
-            }
-            with self._path.open("a", encoding="utf-8") as fh:
-                fh.write(json.dumps(row, sort_keys=True) + "\n")
+            },
+        )
+
+    def put_failure(self, key: str, failure: dict, spec=None) -> None:
+        """Record a structured failure row (spec exhausted its retries).
+
+        ``failure`` should carry at least ``kind`` (``error`` /
+        ``worker-death`` / ``timeout``), ``error`` and ``attempts`` —
+        the :class:`~repro.exp.runner.Runner` builds these.
+        """
+        self._failures[key] = failure
+        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        self._append(
+            key,
+            {"key": key, "spec": spec_payload, "failure": failure},
+        )
+
+    def _append(self, key: str, row: dict) -> None:
+        """Crash-safe single-line append (no-op for in-memory stores).
+
+        One locked ``os.write`` of the whole line plus ``fsync``: a
+        concurrent writer can never interleave, and a crash loses at
+        most this row. If the existing tail is torn (no trailing
+        newline), a newline is written first so the fragment stays
+        isolated on its own line.
+        """
+        if self._path is None:
+            return
+        line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+        plan = faults.active_plan()
+        torn = plan is not None and plan.should_tear(key)
+        with self._locked():
+            fd = os.open(
+                self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                if self._tail_torn(fd):
+                    os.write(fd, b"\n")
+                if torn:
+                    # Injected torn write: half the line, no newline, no
+                    # fsync — what a power loss mid-append leaves behind.
+                    os.write(fd, line[: max(1, len(line) // 2)])
+                    return
+                os.write(fd, line)
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+
+    @staticmethod
+    def _tail_torn(fd: int) -> bool:
+        """Does the file end in a partial line (crashed writer)?
+
+        Reading moves the shared offset, which is harmless: the fd is
+        ``O_APPEND``, so writes go to end-of-file regardless.
+        """
+        size = os.fstat(fd).st_size
+        if size == 0:
+            return False
+        os.lseek(fd, size - 1, os.SEEK_SET)
+        return os.read(fd, 1) != b"\n"
 
     def __contains__(self, key: str) -> bool:
         return key in self._results
@@ -143,3 +341,143 @@ class ResultStore:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = str(self._path) if self._path else "memory"
         return f"ResultStore({len(self)} results, {where})"
+
+
+def _parse_row(line: str) -> Optional[dict]:
+    """Parse one JSONL line into a validated row dict, or ``None``.
+
+    A valid row has a string ``key`` and either a loadable ``result``
+    payload or a ``failure`` dict.
+    """
+    try:
+        row = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if not isinstance(row, dict) or not isinstance(row.get("key"), str):
+        return None
+    if "result" in row:
+        try:
+            result_from_dict(row["result"])
+        except TypeError:
+            return None
+        return row
+    if isinstance(row.get("failure"), dict):
+        return row
+    return None
+
+
+# ----------------------------------------------------------------------
+# Store maintenance: verify and compact (the `repro store` CLI)
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class StoreAudit:
+    """Line-level health report of a JSONL store file."""
+
+    path: Path
+    lines: int = 0
+    blank: int = 0
+    corrupt: int = 0
+    result_rows: int = 0
+    failure_rows: int = 0
+    #: Distinct keys with a live result.
+    keys: int = 0
+    #: Live failure rows (keys with a failure and no later result).
+    live_failures: int = 0
+    #: Rows (result or failure) a later line supersedes — reclaimable
+    #: by compaction, together with corrupt and blank lines.
+    superseded: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """No corruption (superseded rows are legal append-only history)."""
+        return self.corrupt == 0
+
+    @property
+    def reclaimable(self) -> int:
+        """Lines a compaction would drop."""
+        return self.blank + self.corrupt + self.superseded
+
+
+def audit_store(path: Union[str, Path]) -> StoreAudit:
+    """Scan a store file line by line and report its health.
+
+    Unlike :class:`ResultStore`, this never loads results into memory
+    objects and never writes anything — it is the read-only half of
+    ``repro store verify``.
+    """
+    path = resolve_store_path(path)
+    audit = StoreAudit(path=path)
+    last_kind: dict[str, str] = {}  # key -> "result" | "failure"
+    counts: dict[str, int] = {}
+    if not path.exists():
+        return audit
+    with path.open("r", encoding="utf-8") as fh:
+        for raw in fh:
+            audit.lines += 1
+            line = raw.strip()
+            if not line:
+                audit.blank += 1
+                continue
+            row = _parse_row(line)
+            if row is None:
+                audit.corrupt += 1
+                continue
+            key = row["key"]
+            counts[key] = counts.get(key, 0) + 1
+            last_kind[key] = "result" if "result" in row else "failure"
+            if "result" in row:
+                audit.result_rows += 1
+            else:
+                audit.failure_rows += 1
+    audit.keys = sum(1 for kind in last_kind.values() if kind == "result")
+    audit.live_failures = sum(
+        1 for kind in last_kind.values() if kind == "failure"
+    )
+    audit.superseded = sum(n - 1 for n in counts.values())
+    return audit
+
+
+def compact_store(path: Union[str, Path]) -> tuple[StoreAudit, int]:
+    """Rewrite a store file keeping only live rows.
+
+    Keeps the last result row per key, plus the last failure row for
+    keys that never succeeded; drops superseded history, blank lines,
+    and corrupt lines (corrupt lines are first copied to the
+    ``.quarantine`` sidecar, so compaction never destroys evidence).
+    The rewrite goes to a temp file in the same directory, is fsync'd,
+    and replaces the original atomically under the writer lock.
+
+    Returns ``(audit of the file before compaction, rows written)``.
+    """
+    path = resolve_store_path(path)
+    audit = audit_store(path)
+    if not path.exists():
+        return audit, 0
+    # Reuse the store's lock + quarantine machinery; its own load pass
+    # quarantines corrupt lines and resolves last-wins per key.
+    store = ResultStore.__new__(ResultStore)
+    store._results, store._specs, store._failures = {}, {}, {}
+    store._path = path
+    store._load()
+    live: list[dict] = []
+    for key, result in store._results.items():
+        live.append(
+            {
+                "key": key,
+                "spec": store._specs.get(key) or None,
+                "result": result_to_dict(result),
+            }
+        )
+    for key, failure in store._failures.items():
+        live.append({"key": key, "spec": None, "failure": failure})
+    tmp = path.with_name(path.name + ".compact.tmp")
+    with store._locked():
+        with tmp.open("w", encoding="utf-8") as fh:
+            for row in live:
+                fh.write(json.dumps(row, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    return audit, len(live)

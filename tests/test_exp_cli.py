@@ -2,6 +2,8 @@
 
 import json
 
+import pytest
+
 from repro.cli import main
 
 
@@ -61,6 +63,89 @@ class TestExpCommand:
         rc = main(["exp", str(tmp_path / "absent.json")])
         assert rc == 2
         assert capsys.readouterr().err.startswith("error:")
+
+    def test_exp_accepts_retry_and_timeout_flags(self, tmp_path, capsys):
+        rc = main(
+            [
+                "exp",
+                write_specfile(tmp_path, SMOKE_EXP),
+                "--retries",
+                "1",
+                "--timeout",
+                "120",
+            ]
+        )
+        assert rc == 0
+        assert "dilution_t=10" in capsys.readouterr().out
+
+    def test_exp_exit_code_contract_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["exp", "--help"])
+        out = capsys.readouterr().out
+        assert "exit code is 3" in out.lower() or "exit codes" in out.lower()
+
+    def test_failed_specs_exit_3_with_failure_table(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """Under an always-crash fault plan every spec exhausts its
+        retries: the run exits 3 and tabulates the losses on stderr."""
+        monkeypatch.setenv("REPRO_FAULT", "crash:1")
+        specfile = write_specfile(tmp_path, SMOKE_EXP)
+        store = str(tmp_path / "results")
+        rc = main(["exp", specfile, "--store", store, "--retries", "0"])
+        assert rc == 3
+        captured = capsys.readouterr()
+        assert "3 spec(s) failed after retries" in captured.err
+        assert "worker-death" in captured.err
+        assert "3 failed" in captured.out
+        # The failures are provenance in the store: a fault-free rerun
+        # retries and succeeds.
+        monkeypatch.delenv("REPRO_FAULT")
+        assert main(["exp", specfile, "--store", store]) == 0
+        assert "[3 simulated" in capsys.readouterr().out
+
+
+class TestStoreCommand:
+    def fill_store(self, tmp_path, torn=False):
+        specfile = write_specfile(tmp_path, SMOKE_EXP)
+        store = tmp_path / "results.jsonl"
+        assert main(["exp", specfile, "--store", str(store)]) == 0
+        if torn:
+            with store.open("a") as fh:
+                fh.write('{"key": "bad", "result": {"torn')
+        return store
+
+    def test_verify_clean_store(self, tmp_path, capsys):
+        store = self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "clean (3 results" in out
+        assert "corrupt lines" in out  # the audit table
+
+    def test_verify_corrupt_store_exits_1(self, tmp_path, capsys):
+        store = self.fill_store(tmp_path, torn=True)
+        capsys.readouterr()
+        assert main(["store", "verify", str(store)]) == 1
+        captured = capsys.readouterr()
+        assert "CORRUPT: 1 unparseable line(s)" in captured.err
+        assert "store compact" in captured.err
+
+    def test_compact_scrubs_corruption(self, tmp_path, capsys):
+        store = self.fill_store(tmp_path, torn=True)
+        capsys.readouterr()
+        with pytest.warns(UserWarning):
+            assert main(["store", "compact", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "compacted" in out and "1 corrupt" in out
+        assert main(["store", "verify", str(store)]) == 0
+        assert "clean (3 results" in capsys.readouterr().out
+        assert (tmp_path / "results.jsonl.quarantine").exists()
+
+    def test_verify_accepts_directory(self, tmp_path, capsys):
+        self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", str(tmp_path)]) == 0
 
 
 class TestJobsFlag:

@@ -226,20 +226,22 @@ class TestDeterminism:
         for a, b in zip(serial, parallel):
             assert result_to_json(a) == result_to_json(b)
 
-    def test_partial_results_persist_on_failure(
+    def test_poison_spec_fails_alone_and_rest_persist(
         self, tmp_path, monkeypatch, smoke_tpcc
     ):
-        """An interrupted batch keeps the simulations it finished."""
+        """A spec that keeps raising fails only its own row: the rest of
+        the sweep completes, persists, and the loss is reported as a
+        SweepFailure afterwards."""
+        from repro.errors import SweepFailure
         from repro.exp import runner as runner_mod
 
         real = runner_mod._run_spec
-        calls = {"n": 0}
+        poison = {"on": True}
 
-        def flaky(spec):
-            calls["n"] += 1
-            if calls["n"] == 2:
-                raise RuntimeError("interrupted")
-            return real(spec)
+        def flaky(spec, attempt=0):
+            if poison["on"] and spec.variant == "slicc":
+                raise RuntimeError("poisoned")
+            return real(spec, attempt)
 
         monkeypatch.setattr(runner_mod, "_run_spec", flaky)
         store = ResultStore(tmp_path)
@@ -247,9 +249,32 @@ class TestDeterminism:
             spec_for(smoke_tpcc, variant=v)
             for v in ("base", "slicc", "steps")
         ]
-        with pytest.raises(RuntimeError):
-            Runner(store=store).run(specs, trace=smoke_tpcc)
-        assert len(ResultStore(tmp_path)) == 1  # first result survived
+        runner = Runner(store=store, retries=1, backoff=0.01)
+        with pytest.raises(SweepFailure) as excinfo:
+            runner.run(specs, trace=smoke_tpcc)
+        failure = excinfo.value
+        assert len(failure.failures) == 1
+        assert failure.failures[0].kind == "error"
+        assert "poisoned" in failure.failures[0].error
+        assert failure.failures[0].attempts == 2  # first try + 1 retry
+        assert [r is not None for r in failure.results] == [True, False, True]
+        assert runner.last_stats.failed == 1
+        assert runner.last_stats.retried == 1
+        assert runner.last_stats.simulated == 2
+        # The two good rows persisted; the failure is recorded but never
+        # served as a cache hit, so a rerun retries exactly the poisoned
+        # spec.
+        reloaded = ResultStore(tmp_path)
+        assert len(reloaded) == 2
+        failed_key = specs[1].key()
+        assert reloaded.failure_info(failed_key)["kind"] == "error"
+        poison["on"] = False
+        rerun = Runner(store=reloaded, retries=0)
+        results = rerun.run(specs, trace=smoke_tpcc)
+        assert rerun.last_stats.simulated == 1
+        assert rerun.last_stats.cached == 2
+        assert results[1].variant == "slicc"
+        assert reloaded.failure_info(failed_key) is None
 
     def test_parent_process_does_not_hoard_traces(self):
         """Declarative traces are resolved into a run-local dict and

@@ -1,0 +1,119 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.exp.faults import (
+    FaultPlan,
+    FaultRule,
+    active_plan,
+    parse_fault_spec,
+)
+
+
+class TestParsing:
+    def test_single_clause(self):
+        plan = parse_fault_spec("crash:0.3")
+        assert plan.rules == (FaultRule("crash", 0.3),)
+        assert plan.seed == 0
+
+    def test_multiple_clauses_with_attempt_bound(self):
+        plan = parse_fault_spec("crash:1@1, hang:0.1, torn_write:0.25", seed=9)
+        assert plan.rule("crash") == FaultRule("crash", 1.0, 1)
+        assert plan.rule("hang") == FaultRule("hang", 0.1, None)
+        assert plan.rule("torn_write") == FaultRule("torn_write", 0.25, None)
+        assert plan.seed == 9
+
+    def test_empty_clauses_ignored(self):
+        assert parse_fault_spec("crash:1,,").rules == (FaultRule("crash", 1.0),)
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "oom:0.5",  # unknown kind
+            "crash",  # no probability
+            "crash:lots",  # non-numeric probability
+            "crash:1.5",  # out of range
+            "crash:-0.1",  # out of range
+            "crash:0.5@first",  # non-integer attempt bound
+        ],
+    )
+    def test_bad_specs_fail_loudly(self, text):
+        with pytest.raises(ConfigurationError):
+            parse_fault_spec(text)
+
+
+class TestDeterminism:
+    def test_rolls_are_pure_functions(self):
+        plan = parse_fault_spec("crash:0.5", seed=1)
+        rolls = [plan.should("crash", f"key{i}", 0) for i in range(64)]
+        again = [plan.should("crash", f"key{i}", 0) for i in range(64)]
+        assert rolls == again
+        # A fair-ish probability actually fires both ways over 64 keys.
+        assert any(rolls) and not all(rolls)
+
+    def test_seed_changes_the_schedule(self):
+        a = parse_fault_spec("crash:0.5", seed=1)
+        b = parse_fault_spec("crash:0.5", seed=2)
+        keys = [f"key{i}" for i in range(64)]
+        assert [a.should("crash", k) for k in keys] != [
+            b.should("crash", k) for k in keys
+        ]
+
+    def test_probability_bounds(self):
+        always = parse_fault_spec("crash:1")
+        never = parse_fault_spec("crash:0")
+        for i in range(16):
+            assert always.should("crash", f"k{i}")
+            assert not never.should("crash", f"k{i}")
+
+    def test_unlisted_kind_never_fires(self):
+        plan = parse_fault_spec("crash:1")
+        assert not plan.should("hang", "k")
+
+    def test_attempt_bound_gates_injection(self):
+        """crash:1@1 crashes attempt 0 and spares every retry — the
+        shape the crash-then-recover matrix test relies on."""
+        plan = parse_fault_spec("crash:1@1")
+        assert plan.should("crash", "k", attempt=0)
+        assert not plan.should("crash", "k", attempt=1)
+        assert not plan.should("crash", "k", attempt=2)
+
+    def test_torn_rolls_advance_per_append(self):
+        """Each append of a key rolls independently: with @1 the first
+        append tears and the rewrite goes through clean."""
+        plan = FaultPlan((FaultRule("torn_write", 1.0, 1),))
+        key = "torn-roll-test-key"
+        assert plan.should_tear(key)
+        assert not plan.should_tear(key)
+        assert not plan.should_tear(key)
+
+
+class TestActivePlan:
+    def test_no_env_means_no_plan(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        assert active_plan() is None
+
+    def test_env_round_trip(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:0.25@2,hang:0.5")
+        monkeypatch.setenv("REPRO_FAULT_SEED", "7")
+        monkeypatch.setenv("REPRO_FAULT_HANG_S", "0.25")
+        plan = active_plan()
+        assert plan.rule("crash") == FaultRule("crash", 0.25, 2)
+        assert plan.seed == 7
+        assert plan.hang_seconds == 0.25
+
+    def test_cache_tracks_env_changes(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crash:1")
+        first = active_plan()
+        monkeypatch.setenv("REPRO_FAULT", "hang:1")
+        second = active_plan()
+        assert first.rule("crash") and not first.rule("hang")
+        assert second.rule("hang") and not second.rule("crash")
+        monkeypatch.delenv("REPRO_FAULT")
+        assert active_plan() is None
+
+    def test_typod_env_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "crsh:1")
+        with pytest.raises(ConfigurationError):
+            active_plan()
