@@ -6,6 +6,7 @@ Commands
 ``sweep``   the Figure 7/8 threshold sweeps
 ``exp``     run a declarative experiment spec file end-to-end
 ``paper``   reproduce the registered paper figures into a report
+``queue``   enqueue / drain a durable multi-worker sweep queue
 ``store``   verify / compact a JSONL result store
 ``info``    show workload and machine parameters
 
@@ -15,7 +16,9 @@ Exit codes
 1   ``store verify`` found corruption
 2   usage or configuration error (bad spec file, unknown field, ...)
 3   a sweep completed but one or more specs failed after retries
-130 interrupted (SIGINT/SIGTERM); completed results are persisted
+130 interrupted (SIGINT/SIGTERM); completed results are persisted.
+    The first signal drains in-flight work; a second one aborts it
+    immediately (still 130, nothing further persisted).
 
 Examples::
 
@@ -25,13 +28,18 @@ Examples::
     python -m repro exp experiments/dilution.json --jobs 8 --store results/
     python -m repro paper --scale smoke --out report/
     python -m repro paper --figures fig8-dilution fig10-mpki --jobs 4
+    python -m repro queue enqueue experiments/dilution.json campaign/
+    python -m repro queue work campaign/ --jobs 4   # on many machines
+    python -m repro queue status campaign/ --json
     python -m repro info tpce
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import asdict
 from pathlib import Path
 from typing import Sequence
 
@@ -42,12 +50,14 @@ from repro.analysis import (
     write_figure_report,
     write_index,
 )
-from repro.errors import ReproError, SweepFailure
+from repro.errors import ConfigurationError, ReproError, SweepFailure
 from repro.exp import (
     ResultStore,
     Runner,
+    WorkQueue,
     audit_store,
     compact_store,
+    drain,
     figure_names,
     load_spec_file,
     select_figures,
@@ -135,6 +145,8 @@ def _fault_suffix(stats) -> str:
         parts.append(f"{stats.timed_out} timed out")
     if stats.retried:
         parts.append(f"{stats.retried} retried")
+    if stats.reclaimed:
+        parts.append(f"{stats.reclaimed} reclaimed")
     return (", " + ", ".join(parts)) if parts else ""
 
 
@@ -338,6 +350,13 @@ def _audit_rows(audit) -> list[list[object]]:
 def _cmd_store(args: argparse.Namespace) -> int:
     if args.action == "verify":
         audit = audit_store(args.path)
+        if args.json:
+            payload = asdict(audit)
+            payload["path"] = str(audit.path)
+            payload["clean"] = audit.clean
+            payload["reclaimable"] = audit.reclaimable
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0 if audit.clean else 1
         print(
             format_table(
                 ["property", "count"],
@@ -368,6 +387,120 @@ def _cmd_store(args: argparse.Namespace) -> int:
         + (" -> quarantine sidecar" if before.corrupt else "")
         + ")"
     )
+    return 0
+
+
+def _require_queue(args: argparse.Namespace, worker_id=None) -> WorkQueue:
+    """Open an existing queue, or fail with a usage error (exit 2).
+
+    Only ``enqueue`` creates queues — a worker pointed at a queue that
+    was never enqueued is a typo'd path, not an empty campaign.
+    """
+    kwargs = {}
+    if worker_id is not None:
+        kwargs["worker_id"] = worker_id
+    for name in ("lease", "max_claims"):
+        value = getattr(args, name, None)
+        if value is not None:
+            kwargs["lease_seconds" if name == "lease" else name] = value
+    queue = WorkQueue(args.queue, **kwargs)
+    if not queue.exists():
+        raise ConfigurationError(
+            f"no queue at {queue.path}; create one with "
+            f"`repro queue enqueue <specfile> {args.queue}`"
+        )
+    return queue
+
+
+def _print_queue_status(status) -> None:
+    print(
+        f"queue {status.path}: {status.pending} pending, "
+        f"{status.leased} leased, {status.done} done, "
+        f"{status.failed} failed ({status.total} total)"
+    )
+
+
+def _cmd_queue_enqueue(args: argparse.Namespace) -> int:
+    specs, baseline_spec = load_spec_file(args.specfile)
+    all_specs = specs if baseline_spec is None else [baseline_spec] + specs
+    queue = WorkQueue(args.queue)
+    added = queue.enqueue(all_specs)
+    skipped = len(all_specs) - added
+    print(
+        f"enqueued {added} new spec(s)"
+        + (f" ({skipped} already queued or duplicate keys)" if skipped else "")
+        + f" -> {queue.path}"
+    )
+    _print_queue_status(queue.snapshot())
+    return 0
+
+
+def _cmd_queue_work(args: argparse.Namespace) -> int:
+    queue = _require_queue(args, worker_id=args.worker_id)
+    store_path = Path(args.store) if args.store else queue.path.parent
+    runner = Runner(
+        store=ResultStore(store_path),
+        jobs=args.jobs,
+        retries=args.retries,
+        timeout=args.timeout,
+    )
+    report = drain(
+        queue,
+        runner,
+        batch=args.batch,
+        poll_seconds=args.poll,
+    )
+    stats = runner.stats
+    print(
+        f"[{queue.worker_id}] {report.claimed} claimed "
+        f"({report.reclaimed} reclaimed), {stats.simulated} simulated, "
+        f"{stats.cached} cached, {report.failed} failed | "
+        f"wall {stats.wall_seconds:.2f}s, sim {stats.sim_seconds:.2f}s"
+    )
+    status = queue.snapshot()
+    _print_queue_status(status)
+    return 3 if status.failed else 0
+
+
+def _cmd_queue_status(args: argparse.Namespace) -> int:
+    queue = _require_queue(args)
+    status = queue.snapshot()
+    if args.json:
+        print(json.dumps(status.to_payload(), indent=2, sort_keys=True))
+        return 0
+    rows = [
+        ["pending", status.pending],
+        ["leased", status.leased],
+        ["done", status.done],
+        ["failed", status.failed],
+        ["stale leases", len(status.stale)],
+        ["corrupt events", status.corrupt_events],
+        ["total", status.total],
+    ]
+    print(format_table(["state", "count"], rows,
+                       title=f"queue status — {status.path}"))
+    for worker, count in sorted(status.workers.items()):
+        print(f"  worker {worker}: {count} lease(s)")
+    for stale in status.stale:
+        print(
+            f"  STALE: {stale.key[:12]}… leased by {stale.worker}, "
+            f"expired {stale.overdue:.1f}s ago after {stale.claims} "
+            f"claim(s) — workers reclaim it automatically, or run "
+            f"`repro queue reclaim`"
+        )
+    if status.drained:
+        print("drained: no pending work, no live leases")
+    return 0
+
+
+def _cmd_queue_reclaim(args: argparse.Namespace) -> int:
+    queue = _require_queue(args, worker_id="reclaim-cli")
+    released, exhausted = queue.reclaim_expired()
+    print(
+        f"reclaimed {len(released)} expired lease(s) back to pending; "
+        f"{len(exhausted)} failed terminally (claim budget exhausted)"
+    )
+    _print_queue_status(queue.snapshot())
     return 0
 
 
@@ -402,8 +535,11 @@ def build_parser() -> argparse.ArgumentParser:
             "  0    success\n"
             "  1    `store verify` found corruption\n"
             "  2    usage or configuration error\n"
-            "  3    sweep completed but specs failed after retries\n"
-            "  130  interrupted; completed results are persisted"
+            "  3    sweep (or queue drain) completed but specs failed\n"
+            "       after retries\n"
+            "  130  interrupted; the first SIGINT/SIGTERM drains and\n"
+            "       persists in-flight work, a second aborts it\n"
+            "       immediately (nothing further persisted)"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -476,6 +612,136 @@ def build_parser() -> argparse.ArgumentParser:
     _add_exec(paper)
     paper.set_defaults(func=_cmd_paper)
 
+    queue = sub.add_parser(
+        "queue",
+        help="durable multi-worker sweep queue (enqueue/work/status/reclaim)",
+        description="Drain one sweep with any number of independent "
+        "worker processes on a shared filesystem. `enqueue` appends a "
+        "spec file's grid to a durable queue file; each `work` process "
+        "claims specs under a heartbeat-renewed lease, simulates them "
+        "with the normal runner (same --retries/--timeout semantics), "
+        "and records results in the store next to the queue. If a "
+        "worker is SIGKILL'd its leases expire and surviving workers "
+        "reclaim them; content-hashed spec keys make the resulting "
+        "at-least-once execution safe (a duplicate finish writes a "
+        "byte-identical row).",
+    )
+    qsub = queue.add_subparsers(dest="action", required=True)
+
+    q_enqueue = qsub.add_parser(
+        "enqueue", help="append a spec file's grid to a queue"
+    )
+    q_enqueue.add_argument(
+        "specfile", help="JSON spec file (see repro.exp.specfile)"
+    )
+    q_enqueue.add_argument(
+        "queue", help="queue directory or queue.jsonl file (created)"
+    )
+    q_enqueue.set_defaults(func=_cmd_queue_enqueue)
+
+    q_work = qsub.add_parser(
+        "work",
+        help="drain a queue as one worker process",
+        description="Claim, simulate and complete queued specs until "
+        "the queue is drained. Run any number of these concurrently — "
+        "on one machine or many sharing the filesystem. Exit codes: "
+        "0 = queue drained, all specs done; 2 = usage/configuration "
+        "error; 3 = queue drained but some specs failed terminally; "
+        "130 = interrupted — the first SIGINT/SIGTERM finishes "
+        "in-flight simulations, persists them, and releases the "
+        "remaining leases for other workers; a second signal aborts "
+        "in-flight work immediately (nothing further persisted, "
+        "still 130).",
+    )
+    q_work.add_argument("queue", help="queue directory or queue.jsonl file")
+    q_work.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="result store (default: results.jsonl next to the queue)",
+    )
+    q_work.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for this drainer's runner (default: 1)",
+    )
+    q_work.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="in-process retries per spec for transient failures "
+        "(default: 2)",
+    )
+    q_work.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-spec wall-clock timeout (default: none)",
+    )
+    q_work.add_argument(
+        "--lease",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="lease seconds per claim; a heartbeat renews held leases "
+        "every lease/4, so a dead worker's specs free up after at most "
+        "one lease period (default: 60)",
+    )
+    q_work.add_argument(
+        "--max-claims",
+        type=int,
+        default=3,
+        metavar="N",
+        help="total claims allowed per spec before an expired lease "
+        "fails terminally instead of being reclaimed (default: 3)",
+    )
+    q_work.add_argument(
+        "--batch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="specs claimed per cycle (default: --jobs)",
+    )
+    q_work.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle poll interval while other workers hold leases "
+        "(default: 0.5)",
+    )
+    q_work.add_argument(
+        "--worker-id",
+        default=None,
+        metavar="ID",
+        help="explicit worker identity (default: host-pid-random); "
+        "chaos profiles use fixed ids for deterministic schedules",
+    )
+    q_work.set_defaults(func=_cmd_queue_work)
+
+    q_status = qsub.add_parser(
+        "status",
+        help="pending/leased/done/failed counts + stale-lease diagnostics",
+    )
+    q_status.add_argument("queue", help="queue directory or queue.jsonl file")
+    q_status.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable JSON (for CI assertions)",
+    )
+    q_status.set_defaults(func=_cmd_queue_status)
+
+    q_reclaim = qsub.add_parser(
+        "reclaim",
+        help="return expired leases to pending without waiting for "
+        "workers to reclaim them",
+    )
+    q_reclaim.add_argument("queue", help="queue directory or queue.jsonl file")
+    q_reclaim.set_defaults(func=_cmd_queue_reclaim)
+
     store = sub.add_parser(
         "store",
         help="verify / compact a JSONL result store",
@@ -489,6 +755,11 @@ def build_parser() -> argparse.ArgumentParser:
     store.add_argument("action", choices=["verify", "compact"])
     store.add_argument(
         "path", help="store directory or .jsonl file (as given to --store)"
+    )
+    store.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable audit JSON (verify only; same exit codes)",
     )
     store.set_defaults(func=_cmd_store)
 

@@ -25,12 +25,23 @@ from repro.exp.figures import (
     select_figures,
 )
 from repro.exp.pool import FaultTolerantPool, SpecOutcome
+from repro.exp.queue import (
+    ClaimedSpec,
+    DrainReport,
+    LeaseHeartbeat,
+    QueueStatus,
+    StaleLease,
+    WorkQueue,
+    drain,
+    resolve_queue_path,
+)
 from repro.exp.runner import Runner, RunnerStats
 from repro.exp.spec import (
     ExperimentSpec,
     grid,
     product,
     spec_for,
+    spec_from_dict,
     trace_fingerprint,
     with_overrides,
 )
@@ -49,20 +60,27 @@ from repro.exp.store import (
 from repro.exp.summarize import summarize
 
 __all__ = [
+    "ClaimedSpec",
+    "DrainReport",
     "ExperimentSpec",
     "FaultPlan",
     "FaultTolerantPool",
     "Figure",
     "FigureRow",
+    "LeaseHeartbeat",
     "LoadReport",
+    "QueueStatus",
     "ResultStore",
     "Runner",
     "RunnerStats",
     "SpecOutcome",
+    "StaleLease",
     "StoreAudit",
+    "WorkQueue",
     "active_plan",
     "audit_store",
     "compact_store",
+    "drain",
     "figure_names",
     "get_figure",
     "grid",
@@ -71,11 +89,13 @@ __all__ = [
     "register_figure",
     "select_figures",
     "product",
+    "resolve_queue_path",
     "resolve_store_path",
     "result_from_dict",
     "result_to_dict",
     "result_to_json",
     "spec_for",
+    "spec_from_dict",
     "summarize",
     "trace_fingerprint",
     "with_overrides",

@@ -9,7 +9,7 @@ failure points::
     REPRO_FAULT=crash:0.3,hang:0.1,torn_write:0.25
     REPRO_FAULT_SEED=42
 
-Three fault kinds are understood:
+Five fault kinds are understood:
 
 ``crash``
     the worker process dies with ``os._exit`` mid-task (models OOM
@@ -23,6 +23,20 @@ Three fault kinds are understood:
 ``torn_write``
     the store writes only a prefix of the JSONL line and no newline
     (models a crash or power loss mid-append).
+``die``
+    the *whole worker process* (a ``repro queue work`` process, pool
+    and all — not just one pool child) dies with ``os._exit`` right
+    after claiming queue work, leaving fresh leases orphaned (models a
+    SIGKILL'd worker or a machine dropping off the shared filesystem).
+    Keyed on ``(worker id, claim cycle)`` rather than a spec key.
+``torn_queue``
+    a queue-file event append tears like ``torn_write``, but only for
+    events whose loss is recoverable by design (``claimed`` /
+    ``renewed`` — a torn claim is simply not held, a torn renewal lets
+    the lease expire early). Kept separate from ``torn_write`` so a
+    multi-process chaos profile can tear queue traffic without also
+    tearing result rows out from under workers that already marked
+    their spec ``done``.
 
 Each rule is ``kind:probability`` with an optional ``@n`` suffix that
 restricts injection to attempts ``< n``, so ``crash:1@1`` crashes the
@@ -53,6 +67,7 @@ __all__ = [
     "FaultPlan",
     "FaultRule",
     "active_plan",
+    "inject_process_faults",
     "inject_worker_faults",
     "parse_fault_spec",
 ]
@@ -61,12 +76,13 @@ __all__ = [
 #: pool diagnostics can tell an injected death from a real one.
 CRASH_EXIT_CODE = 87
 
-KINDS = ("crash", "hang", "torn_write")
+KINDS = ("crash", "hang", "torn_write", "die", "torn_queue")
 
-# Per-process count of torn_write decisions per store key: the nth append
-# of a key rolls independently of the (n-1)th, so a store retrying an
-# append (or a resumed run re-recording a row) is not doomed to tear the
-# same key forever within one process.
+# Per-process count of tear decisions per (kind, key): the nth append of
+# a key rolls independently of the (n-1)th, so a store retrying an
+# append (or a resumed run re-recording a row, or a worker re-claiming a
+# queue entry whose claim event tore) is not doomed to tear the same key
+# forever within one process.
 _torn_rolls: dict[str, int] = defaultdict(int)
 
 
@@ -109,13 +125,20 @@ class FaultPlan:
         roll = int.from_bytes(digest[:8], "big") / 2.0**64
         return roll < rule.probability
 
-    def should_tear(self, key: str) -> bool:
-        """Roll for a torn store append (per-process append counter)."""
-        if self.rule("torn_write") is None:
+    def should_tear(self, key: str, kind: str = "torn_write") -> bool:
+        """Roll for a torn append (per-process append counter).
+
+        ``kind`` selects the rule: ``torn_write`` for result-store rows,
+        ``torn_queue`` for queue-file events. Counters are namespaced per
+        kind so store and queue traffic for the same spec key roll
+        independently.
+        """
+        if self.rule(kind) is None:
             return False
-        n = _torn_rolls[key]
-        _torn_rolls[key] = n + 1
-        return self.should("torn_write", key, n)
+        counter = f"{kind}:{key}"
+        n = _torn_rolls[counter]
+        _torn_rolls[counter] = n + 1
+        return self.should(kind, key, n)
 
 
 def parse_fault_spec(
@@ -210,3 +233,20 @@ def inject_worker_faults(key: str, attempt: int) -> None:
         os._exit(CRASH_EXIT_CODE)
     if plan.should("hang", key, attempt):
         time.sleep(plan.hang_seconds)
+
+
+def inject_process_faults(worker_id: str, cycle: int) -> None:
+    """Process-level injection point for the queue work loop.
+
+    Called right *after* a claim cycle succeeds, so a ``die`` kills the
+    whole worker while it holds fresh, unserved leases — the exact
+    orphan-reclamation case the queue's chaos proof must exercise. The
+    roll keys on ``(worker id, cycle)``: with explicit ``--worker-id``s
+    a seeded profile deterministically picks which worker dies and when,
+    regardless of how claims interleave across processes.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    if plan.should("die", worker_id, cycle):
+        os._exit(CRASH_EXIT_CODE)

@@ -17,12 +17,16 @@ what makes the recovery matrix implementable:
 * **poison spec** (exception inside the engine) → the worker reports
   the error over the pipe; after retries the task is reported failed
   while every other spec proceeds;
-* **SIGINT/SIGTERM** → the first signal drains: no new dispatches,
-  in-flight tasks finish and their results are yielded (the caller
-  persists them), then the run stops. A second signal aborts in-flight
-  work immediately. Workers ignore SIGINT so a terminal Ctrl-C (which
-  signals the whole process group) still drains instead of killing
-  workers mid-task.
+* **SIGINT/SIGTERM** → two explicit stages. The *first* signal drains:
+  no new dispatches, in-flight tasks finish and their results are
+  yielded (the caller persists them), then the run stops and the caller
+  exits 130. A *second* signal (either of the two) during the drain
+  escalates to immediate abort: the scheduler loop breaks on the next
+  tick (bounded by ``_TICK_SECONDS``), busy workers are killed without
+  being waited on, nothing further is yielded or persisted, and the
+  exit code is still 130. Workers ignore SIGINT so a terminal Ctrl-C
+  (which signals the whole process group) still drains instead of
+  killing workers mid-task.
 
 Outcomes are yielded as they complete, in arbitrary order, so the
 caller can persist incrementally — an interrupted campaign keeps every
@@ -256,6 +260,9 @@ class FaultTolerantPool:
         try:
             while self._queue or self._waiting or self._busy():
                 if self.aborted:
+                    # Second signal: stop yielding immediately. close()
+                    # in the finally kills the still-busy workers, so
+                    # their in-flight results are never persisted.
                     break
                 if self.draining:
                     self._queue.clear()

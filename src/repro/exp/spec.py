@@ -222,6 +222,41 @@ def spec_for(
     )
 
 
+def spec_from_dict(payload: Mapping) -> ExperimentSpec:
+    """Rebuild a spec from :meth:`ExperimentSpec.to_dict` output.
+
+    The inverse of the JSON rendering the store and work queue persist:
+    the nested ``config`` dict (including ``system``/``slicc`` and their
+    cache parameter dicts) is coerced back into dataclasses, so
+    ``spec_from_dict(spec.to_dict()).key() == spec.key()`` — the
+    round-trip a queued spec takes through ``queue.jsonl`` before a
+    worker picks it up.
+
+    Raises:
+        ConfigurationError: for unknown fields or a payload that is not
+            a mapping — a corrupted queue entry must fail loudly rather
+            than simulate something else.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigurationError(
+            f"spec payload must be a mapping, got {type(payload).__name__}"
+        )
+    kw = dict(payload)
+    known = {f.name for f in fields(ExperimentSpec)}
+    unknown = set(kw) - known
+    if unknown:
+        raise ConfigurationError(
+            f"unknown ExperimentSpec fields {sorted(unknown)}"
+        )
+    config = kw.pop("config", None)
+    if config is not None:
+        kw["config"] = _coerce(config, SimConfig)
+    try:
+        return ExperimentSpec(**kw)
+    except TypeError as exc:
+        raise ConfigurationError(f"bad spec payload: {exc}") from None
+
+
 # ----------------------------------------------------------------------
 # Dotted-path overrides and grid expansion
 # ----------------------------------------------------------------------

@@ -71,26 +71,33 @@ def result_to_json(result: SimulationResult) -> str:
     )
 
 
-def resolve_store_path(path: Union[str, Path]) -> Path:
-    """Normalise a store argument to its backing ``*.jsonl`` file.
+def _resolve_jsonl(path: Union[str, Path], default_name: str) -> Path:
+    """Normalise a JSONL-file argument to its backing ``*.jsonl`` file.
 
-    A directory (existing or not) maps to ``<dir>/results.jsonl``; an
+    A directory (existing or not) maps to ``<dir>/<default_name>``; an
     explicit ``*.jsonl`` path is taken as-is; other file-looking paths
     are rejected — a near-miss like ``results.json`` would otherwise
     silently become a *directory* of that name (dotted names that
-    already exist as directories are fine).
+    already exist as directories are fine). Shared by the result store
+    (``results.jsonl``) and the work queue (``queue.jsonl``), so one
+    campaign directory can hold both side by side.
     """
     path = Path(path)
     if path.is_dir():
-        return path / "results.jsonl"
+        return path / default_name
     if path.suffix and path.suffix != ".jsonl":
         raise ConfigurationError(
             f"store path {path} looks like a file but is not "
             "*.jsonl; pass a directory or a .jsonl file"
         )
     if path.suffix != ".jsonl":
-        return path / "results.jsonl"
+        return path / default_name
     return path
+
+
+def resolve_store_path(path: Union[str, Path]) -> Path:
+    """Normalise a store argument to its backing ``results.jsonl`` file."""
+    return _resolve_jsonl(path, "results.jsonl")
 
 
 @dataclass

@@ -147,6 +147,27 @@ class TestStoreCommand:
         capsys.readouterr()
         assert main(["store", "verify", str(tmp_path)]) == 0
 
+    def test_verify_json_clean(self, tmp_path, capsys):
+        store = self.fill_store(tmp_path)
+        capsys.readouterr()
+        assert main(["store", "verify", str(store), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+        assert payload["keys"] == 3 and payload["result_rows"] == 3
+        assert payload["corrupt"] == 0 and payload["live_failures"] == 0
+        assert payload["reclaimable"] == 0
+        assert payload["path"] == str(store)
+
+    def test_verify_json_corrupt_exits_1(self, tmp_path, capsys):
+        store = self.fill_store(tmp_path, torn=True)
+        capsys.readouterr()
+        assert main(["store", "verify", str(store), "--json"]) == 1
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["clean"] is False and payload["corrupt"] == 1
+        assert payload["reclaimable"] == 1
+        assert captured.err == ""  # diagnostics live in the JSON
+
 
 class TestJobsFlag:
     def test_run_with_jobs(self, capsys):

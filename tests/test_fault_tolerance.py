@@ -178,10 +178,13 @@ class TestTornWrites:
 
 
 class TestGracefulInterrupt:
-    def test_sigint_drains_and_resume_skips_completed(self, tmp_path):
-        """SIGINT mid-sweep: the run exits 130, the store holds exactly
-        the completed rows (parseable, no torn tail), and a resumed run
-        serves them from cache."""
+    @pytest.mark.parametrize(
+        "signum", [signal.SIGINT, signal.SIGTERM], ids=["SIGINT", "SIGTERM"]
+    )
+    def test_signal_drains_and_resume_skips_completed(self, tmp_path, signum):
+        """SIGINT or SIGTERM mid-sweep: the run exits 130, the store
+        holds exactly the completed rows (parseable, no torn tail), and
+        a resumed run serves them from cache."""
         specfile = tmp_path / "exp.json"
         specfile.write_text(
             json.dumps(
@@ -234,7 +237,7 @@ class TestGracefulInterrupt:
                         + proc.communicate()[1]
                     )
                 time.sleep(0.02)
-            proc.send_signal(signal.SIGINT)
+            proc.send_signal(signum)
             stdout, stderr = proc.communicate(timeout=60)
         finally:
             if proc.poll() is None:  # pragma: no cover - hung child
@@ -266,3 +269,87 @@ class TestGracefulInterrupt:
         assert done.returncode == 0, done.stderr
         assert f"{completed} cached" in done.stdout
         assert len(ResultStore(store)) == 7
+
+    def test_second_signal_aborts_immediately(self, tmp_path):
+        """First SIGINT starts the graceful drain; with every in-flight
+        spec hung for 60s the drain would block for the rest of the
+        hour. A second signal escalates: workers are killed, nothing
+        further is persisted, and the exit code is still 130 — within
+        seconds, not after the hang."""
+        specfile = tmp_path / "exp.json"
+        specfile.write_text(
+            json.dumps(
+                {
+                    "workload": "tpcc-1",
+                    "scale": "smoke",
+                    "seed": 7,
+                    "variant": "slicc-sw",
+                    "axes": {"slicc.dilution_t": [2, 4, 6, 8]},
+                }
+            )
+        )
+        store = tmp_path / "results.jsonl"
+        env = dict(
+            os.environ,
+            PYTHONPATH=os.path.join(REPO_ROOT, "src"),
+            REPRO_FAULT="hang:1",
+            REPRO_FAULT_HANG_S="60",
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "exp",
+                str(specfile),
+                "--store",
+                str(store),
+                "--jobs",
+                "2",
+            ],
+            env=env,
+            cwd=REPO_ROOT,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            # Wait until a forked worker is actually *inside* the
+            # injected hang (parked in nanosleep) — children merely
+            # existing is not enough: a signal landing before the first
+            # dispatch would drain an empty pool and exit immediately.
+            children_path = f"/proc/{proc.pid}/task/{proc.pid}/children"
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                try:
+                    with open(children_path) as fh:
+                        children = fh.read().split()
+                    hung = any(
+                        "sleep" in open(f"/proc/{c}/wchan").read()
+                        for c in children
+                    )
+                except OSError:  # pragma: no cover - child exited mid-scan
+                    hung = False
+                if hung:
+                    break
+                assert proc.poll() is None
+                time.sleep(0.02)
+            else:  # pragma: no cover - workers never hung
+                pytest.fail("pool workers never reached the injected hang")
+            proc.send_signal(signal.SIGINT)
+            time.sleep(1.0)  # stage one: draining (hung, would take 60s)
+            assert proc.poll() is None
+            t0 = time.monotonic()
+            proc.send_signal(signal.SIGINT)
+            stdout, stderr = proc.communicate(timeout=30)
+            elapsed = time.monotonic() - t0
+        finally:
+            if proc.poll() is None:  # pragma: no cover - hung child
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 130, stderr
+        assert elapsed < 20  # aborted, not drained through the 60s hang
+        assert "interrupted" in stderr
+        # Nothing was persisted: every spec was hung when the abort
+        # landed, and the abort promises no further writes.
+        assert not store.exists() or store.read_text() == ""

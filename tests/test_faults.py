@@ -3,10 +3,13 @@
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.exp import faults
 from repro.exp.faults import (
+    CRASH_EXIT_CODE,
     FaultPlan,
     FaultRule,
     active_plan,
+    inject_process_faults,
     parse_fault_spec,
 )
 
@@ -87,6 +90,47 @@ class TestDeterminism:
         assert plan.should_tear(key)
         assert not plan.should_tear(key)
         assert not plan.should_tear(key)
+
+    def test_torn_kinds_roll_independently(self):
+        """torn_write (store rows) and torn_queue (queue events) keep
+        separate per-key counters, so tearing one never consumes the
+        other's attempt-bounded budget."""
+        plan = FaultPlan(
+            (
+                FaultRule("torn_write", 1.0, 1),
+                FaultRule("torn_queue", 1.0, 1),
+            )
+        )
+        key = "torn-kind-namespace-key"
+        assert plan.should_tear(key)
+        assert plan.should_tear(key, kind="torn_queue")
+        assert not plan.should_tear(key)
+        assert not plan.should_tear(key, kind="torn_queue")
+
+
+class TestProcessFaults:
+    def test_die_parses(self):
+        plan = parse_fault_spec("die:0.4@1,torn_queue:0.5")
+        assert plan.rule("die") == FaultRule("die", 0.4, 1)
+        assert plan.rule("torn_queue") == FaultRule("torn_queue", 0.5, None)
+
+    def test_die_kills_the_whole_process(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "die:1@1")
+        exits = []
+        monkeypatch.setattr(faults.os, "_exit", exits.append)
+        inject_process_faults("w0", 0)
+        assert exits == [CRASH_EXIT_CODE]
+
+    def test_die_respects_cycle_bound_and_worker_roll(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT", "die:1@1")
+        exits = []
+        monkeypatch.setattr(faults.os, "_exit", exits.append)
+        inject_process_faults("w0", 1)  # cycle >= bound: spared
+        assert exits == []
+
+    def test_no_plan_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULT", raising=False)
+        inject_process_faults("w0", 0)  # must not touch os._exit
 
 
 class TestActivePlan:

@@ -1,0 +1,555 @@
+"""Tests for the durable lease-based work queue (``repro queue``).
+
+Three layers: in-process protocol unit tests (enqueue/claim/lease
+fold rules), drain-loop integration against the real Runner, and the
+two acceptance scenarios — double-completion idempotence and the
+multi-process chaos proof (three concurrent ``repro queue work``
+processes, one SIGKILL'd mid-sweep, byte-identical recovery).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.exp import (
+    ExperimentSpec,
+    ResultStore,
+    Runner,
+    WorkQueue,
+    audit_store,
+    drain,
+    grid,
+    resolve_queue_path,
+    result_to_json,
+    spec_for,
+    spec_from_dict,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+linux_only = pytest.mark.skipif(
+    sys.platform != "linux", reason="subprocess chaos relies on fork workers"
+)
+
+
+def smoke_specs(variants=("base", "slicc", "steps")):
+    base = ExperimentSpec("tpcc-1", scale="smoke", seed=7)
+    return grid(base, {"variant": list(variants)})
+
+
+def write_specfile(tmp_path, axes=None):
+    payload = {
+        "workload": "tpcc-1",
+        "scale": "smoke",
+        "seed": 7,
+        "variant": "slicc-sw",
+        "axes": axes or {"slicc.dilution_t": [5, 10]},
+        "baseline": True,
+    }
+    path = tmp_path / "exp.json"
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def queue_events(path):
+    events = []
+    for line in resolve_queue_path(path).read_bytes().splitlines():
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn fragment
+    return events
+
+
+class TestQueueProtocol:
+    def test_enqueue_is_idempotent(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        specs = smoke_specs()
+        assert queue.enqueue(specs) == 3
+        assert queue.enqueue(specs) == 0
+        # A grown grid only adds the new points.
+        more = smoke_specs(variants=("base", "slicc", "steps", "nextline"))
+        assert queue.enqueue(more) == 1
+        assert queue.snapshot().pending == 4
+
+    def test_enqueue_rejects_explicit_trace_specs(self, tmp_path, smoke_tpcc):
+        queue = WorkQueue(tmp_path)
+        with pytest.raises(ConfigurationError, match="trace"):
+            queue.enqueue([spec_for(smoke_tpcc, variant="base")])
+
+    def test_enqueue_shares_campaign_dir_with_store(self, tmp_path):
+        queue = WorkQueue(tmp_path)
+        queue.enqueue(smoke_specs())
+        assert queue.path == tmp_path / "queue.jsonl"
+        assert queue.lock_path.name == "queue.jsonl.lock"
+
+    def test_claim_is_fifo_and_exclusive_across_instances(self, tmp_path):
+        specs = smoke_specs()
+        keys = [s.key() for s in specs]
+        a = WorkQueue(tmp_path, worker_id="a")
+        a.enqueue(specs)
+        first = a.claim(limit=2)
+        assert [c.key for c in first] == keys[:2]
+        assert all(c.attempt == 1 and not c.reclaimed for c in first)
+        # A second worker (separate instance, same file) only sees what
+        # is left — live leases are exclusive.
+        b = WorkQueue(tmp_path, worker_id="b")
+        second = b.claim(limit=3)
+        assert [c.key for c in second] == keys[2:]
+        assert b.claim(limit=3) == []
+        status = a.snapshot()
+        assert status.leased == 3 and status.pending == 0
+        assert status.workers == {"a": 2, "b": 1}
+
+    def test_claim_payload_rebuilds_the_exact_spec(self, tmp_path):
+        (spec,) = smoke_specs(variants=("slicc-sw",))
+        queue = WorkQueue(tmp_path)
+        queue.enqueue([spec])
+        (claim,) = queue.claim()
+        rebuilt = spec_from_dict(claim.payload)
+        assert rebuilt.key() == spec.key() == claim.key
+        assert rebuilt.config == spec.config
+
+    def test_expired_lease_is_reclaimed_with_attempt_count(self, tmp_path):
+        specs = smoke_specs(variants=("base",))
+        a = WorkQueue(tmp_path, worker_id="a", lease_seconds=0.05)
+        a.enqueue(specs)
+        assert len(a.claim()) == 1
+        time.sleep(0.2)  # past deadline + worker-b's small stagger
+        b = WorkQueue(tmp_path, worker_id="b", backoff=0.001)
+        deadline = time.monotonic() + 10
+        claims = []
+        while not claims and time.monotonic() < deadline:
+            claims = b.claim()
+            time.sleep(0.02)
+        (claim,) = claims
+        assert claim.reclaimed and claim.attempt == 2
+        # The original holder discovers the loss on its next heartbeat.
+        assert a.renew([claim.key]) == [claim.key]
+        events = queue_events(tmp_path)
+        assert any(
+            e["event"] == "abandoned" and e["reason"] == "lease-expired"
+            for e in events
+        )
+
+    def test_live_lease_is_not_reclaimable(self, tmp_path):
+        a = WorkQueue(tmp_path, worker_id="a", lease_seconds=60)
+        a.enqueue(smoke_specs(variants=("base",)))
+        a.claim()
+        b = WorkQueue(tmp_path, worker_id="b", backoff=0.001)
+        assert b.claim() == []
+
+    def test_claim_budget_exhaustion_fails_terminally(self, tmp_path):
+        a = WorkQueue(
+            tmp_path, worker_id="a", lease_seconds=0.05, max_claims=1
+        )
+        a.enqueue(smoke_specs(variants=("base",)))
+        (claim,) = a.claim()
+        time.sleep(0.1)
+        b = WorkQueue(tmp_path, worker_id="b", backoff=0.001, max_claims=1)
+        assert b.claim() == []
+        status = b.snapshot()
+        assert status.failed == 1 and status.leased == 0
+        events = queue_events(tmp_path)
+        (failure,) = [e for e in events if e["event"] == "failed"]
+        assert failure["kind"] == "lease-expired"
+        assert failure["key"] == claim.key
+
+    def test_release_returns_leases_to_pending(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="a")
+        queue.enqueue(smoke_specs())
+        claims = queue.claim(limit=3)
+        queue.release([c.key for c in claims[:2]])
+        status = queue.snapshot()
+        assert status.pending == 2 and status.leased == 1
+
+    def test_renew_extends_only_own_live_leases(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="a", lease_seconds=60)
+        queue.enqueue(smoke_specs(variants=("base", "slicc")))
+        claims = queue.claim(limit=1)
+        held = claims[0].key
+        other = [s.key() for s in smoke_specs(variants=("slicc",))][0]
+        lost = queue.renew([held, other, "no-such-key"])
+        assert held not in lost
+        assert set(lost) == {other, "no-such-key"}
+
+    def test_mark_done_is_idempotent_and_supersedes_failed(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="a")
+        queue.enqueue(smoke_specs(variants=("base",)))
+        (claim,) = queue.claim()
+        assert queue.mark_failed(claim.key, error="boom") is True
+        assert queue.snapshot().failed == 1
+        # The result exists after all: done supersedes failed …
+        assert queue.mark_done(claim.key) is True
+        status = queue.snapshot()
+        assert status.done == 1 and status.failed == 0
+        # … a second finish is a no-op, and failed never undoes done.
+        assert queue.mark_done(claim.key) is False
+        assert queue.mark_failed(claim.key, error="late loser") is False
+        assert queue.snapshot().done == 1
+
+    def test_torn_tail_heals_into_one_corrupt_event(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="a")
+        queue.enqueue(smoke_specs(variants=("base", "slicc")))
+        with queue.path.open("ab") as fh:  # power loss mid-append
+            fh.write(b'{"event": "claimed", "key": "tor')
+        fresh = WorkQueue(tmp_path, worker_id="b")
+        fresh.enqueue(smoke_specs(variants=("steps",)))  # heals the tail
+        status = fresh.snapshot()
+        assert status.corrupt_events == 1
+        assert status.pending == 3  # the torn claim never took
+        lines = queue.path.read_bytes().splitlines()
+        json.loads(lines[-1])  # the post-heal append is parseable
+
+    def test_reclaim_expired_splits_released_and_exhausted(self, tmp_path):
+        specs = smoke_specs(variants=("base", "slicc"))
+        a = WorkQueue(
+            tmp_path, worker_id="a", lease_seconds=0.05, max_claims=1
+        )
+        a.enqueue(specs)
+        a.claim(limit=1)
+        b = WorkQueue(tmp_path, worker_id="b", lease_seconds=0.05)
+        b.claim(limit=1)
+        time.sleep(0.1)
+        # max_claims=1 for the operator instance: key a holds is over
+        # budget; use a generous budget so b's key goes back to pending.
+        op = WorkQueue(tmp_path, worker_id="op", max_claims=3)
+        released, exhausted = op.reclaim_expired()
+        assert len(released) == 2 and exhausted == []
+        status = op.snapshot()
+        assert status.pending == 2 and status.leased == 0
+
+    def test_snapshot_payload_shape(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="a", lease_seconds=0.01)
+        queue.enqueue(smoke_specs())
+        queue.claim(limit=1)
+        time.sleep(0.05)
+        payload = queue.snapshot().to_payload()
+        assert payload["total"] == 3
+        assert payload["pending"] == 2 and payload["leased"] == 1
+        assert payload["stale_leases"] == 1
+        assert payload["stale"][0]["worker"] == "a"
+        assert payload["stale"][0]["overdue_seconds"] > 0
+        assert payload["drained"] is False
+        assert payload["workers"] == {"a": 1}
+
+    def test_spec_from_dict_round_trip(self):
+        for spec in smoke_specs(variants=("base", "slicc-sw")):
+            rebuilt = spec_from_dict(spec.to_dict())
+            assert rebuilt.key() == spec.key()
+
+    def test_spec_from_dict_rejects_junk(self):
+        with pytest.raises(ConfigurationError):
+            spec_from_dict({"workload": "tpcc-1", "warp_drive": True})
+        with pytest.raises(ConfigurationError):
+            spec_from_dict("not a mapping")
+
+
+class TestDrain:
+    def test_drain_completes_a_queue(self, tmp_path):
+        specs = smoke_specs()
+        queue = WorkQueue(tmp_path, worker_id="solo")
+        queue.enqueue(specs)
+        runner = Runner(store=ResultStore(tmp_path), jobs=1)
+        report = drain(queue, runner, poll_seconds=0.05)
+        assert report.completed == 3 and report.failed == 0
+        assert report.claimed == 3 and report.reclaimed == 0
+        status = queue.snapshot()
+        assert status.drained and status.done == 3
+        assert set(runner.store.keys()) == {s.key() for s in specs}
+        # A second worker arriving late finds nothing to do.
+        again = drain(queue, Runner(store=ResultStore(tmp_path)), poll_seconds=0.05)
+        assert again.claimed == 0
+
+    def test_drain_reclaims_a_dead_workers_leases(self, tmp_path):
+        specs = smoke_specs()
+        dead = WorkQueue(tmp_path, worker_id="dead", lease_seconds=0.05)
+        dead.enqueue(specs)
+        assert len(dead.claim(limit=3)) == 3  # then "SIGKILL": no beats
+        time.sleep(0.2)
+        queue = WorkQueue(tmp_path, worker_id="live", backoff=0.001)
+        runner = Runner(store=ResultStore(tmp_path), jobs=1)
+        report = drain(queue, runner, poll_seconds=0.05)
+        assert report.completed == 3
+        assert report.reclaimed == 3
+        assert runner.stats.reclaimed == 3  # surfaced in CLI summaries
+        status = queue.snapshot()
+        assert status.drained and status.done == 3 and not status.stale
+
+    def test_drain_fails_bad_payload_entries_terminally(self, tmp_path):
+        queue = WorkQueue(tmp_path, worker_id="w")
+        queue.enqueue(smoke_specs(variants=("base",)))
+        # A hand-edited / truncated queue can reference keys with no
+        # payload; drain must fail them, not spin on them.
+        queue._append_locked(
+            {"event": "enqueued", "key": "deadbeef" * 8, "t": 0.0}
+        )
+        runner = Runner(store=ResultStore(tmp_path), jobs=1)
+        report = drain(queue, runner, poll_seconds=0.05)
+        assert report.completed == 1
+        status = queue.snapshot()
+        assert status.drained and status.done == 1 and status.failed == 1
+        events = queue_events(tmp_path)
+        (failure,) = [e for e in events if e["event"] == "failed"]
+        assert failure["kind"] == "bad-spec"
+
+
+class TestDoubleCompletion:
+    def test_double_finish_is_byte_identical_and_collapses(self, tmp_path):
+        """ACCEPTANCE: two workers race the same spec to completion; the
+        store gains two byte-identical rows, loads one canonical result,
+        and ``store verify`` stays clean."""
+        (spec,) = smoke_specs(variants=("slicc-sw",))
+        store_path = tmp_path / "results.jsonl"
+        a = WorkQueue(tmp_path, worker_id="a", lease_seconds=0.05)
+        a.enqueue([spec])
+        # Both workers open the store before either has written: the
+        # in-memory views are the pre-race snapshot, as they would be in
+        # two processes.
+        store_a = ResultStore(store_path)
+        store_b = ResultStore(store_path)
+        (claim_a,) = a.claim()
+        time.sleep(0.2)  # a's lease expires (its heartbeats "stopped")
+        b = WorkQueue(tmp_path, worker_id="b", backoff=0.001)
+        deadline = time.monotonic() + 10
+        claims_b = []
+        while not claims_b and time.monotonic() < deadline:
+            claims_b = b.claim()
+            time.sleep(0.02)
+        (claim_b,) = claims_b
+        assert claim_b.reclaimed
+
+        Runner(store=store_b, jobs=1).run([spec])
+        assert b.mark_done(claim_b.key) is True
+        # Worker a was only paused, not dead: it finishes late and
+        # double-writes, never having observed b's row.
+        Runner(store=store_a, jobs=1).run([spec])
+        assert a.mark_done(claim_a.key) is False  # late half: no-op
+
+        lines = store_path.read_bytes().splitlines()
+        assert len(lines) == 2
+        assert lines[0] == lines[1]  # byte-identical duplicate row
+        final = ResultStore(store_path)
+        assert list(final.keys()) == [spec.key()]
+        audit = audit_store(store_path)
+        assert audit.clean and audit.superseded == 1
+        assert main(["store", "verify", str(store_path)]) == 0
+        status = b.snapshot()
+        assert status.done == 1 and status.drained
+
+
+class TestQueueCLI:
+    def test_enqueue_then_status(self, tmp_path, capsys):
+        specfile = write_specfile(tmp_path)
+        qdir = tmp_path / "campaign"
+        assert main(["queue", "enqueue", specfile, str(qdir)]) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 3 new spec(s)" in out
+        assert main(["queue", "enqueue", specfile, str(qdir)]) == 0
+        out = capsys.readouterr().out
+        assert "enqueued 0 new spec(s)" in out and "already queued" in out
+        assert main(["queue", "status", str(qdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pending"] == 3 and payload["drained"] is False
+        assert payload["stale_leases"] == 0
+
+    def test_work_drains_and_store_verifies(self, tmp_path, capsys):
+        specfile = write_specfile(tmp_path)
+        qdir = tmp_path / "campaign"
+        assert main(["queue", "enqueue", specfile, str(qdir)]) == 0
+        capsys.readouterr()
+        assert main(["queue", "work", str(qdir), "--poll", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "3 claimed (0 reclaimed)" in out
+        assert "3 simulated" in out
+        assert "3 done" in out
+        assert main(["queue", "status", str(qdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] == 3 and payload["drained"] is True
+        # The store lands next to the queue and verifies clean.
+        assert main(["store", "verify", str(qdir), "--json"]) == 0
+        audit = json.loads(capsys.readouterr().out)
+        assert audit["clean"] is True and audit["keys"] == 3
+
+    def test_work_reports_terminal_failures_as_exit_3(self, tmp_path, capsys):
+        specfile = write_specfile(tmp_path, axes={"slicc.dilution_t": [5]})
+        qdir = tmp_path / "campaign"
+        assert main(["queue", "enqueue", specfile, str(qdir)]) == 0
+        # Corrupt campaign: an entry whose payload cannot run.
+        WorkQueue(qdir)._append_locked(
+            {"event": "enqueued", "key": "deadbeef" * 8, "t": 0.0}
+        )
+        capsys.readouterr()
+        assert main(["queue", "work", str(qdir), "--poll", "0.05"]) == 3
+        captured = capsys.readouterr()
+        assert "1 failed" in captured.out
+        assert main(["queue", "status", str(qdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failed"] == 1 and payload["done"] == 2
+
+    def test_status_diagnoses_stale_leases_and_reclaim_heals(
+        self, tmp_path, capsys
+    ):
+        specfile = write_specfile(tmp_path)
+        qdir = tmp_path / "campaign"
+        assert main(["queue", "enqueue", specfile, str(qdir)]) == 0
+        dead = WorkQueue(qdir, worker_id="dead", lease_seconds=0.05)
+        assert len(dead.claim(limit=2)) == 2
+        time.sleep(0.1)
+        capsys.readouterr()
+        assert main(["queue", "status", str(qdir)]) == 0
+        out = capsys.readouterr().out
+        assert "STALE" in out and "dead" in out
+        assert main(["queue", "reclaim", str(qdir)]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed 2 expired lease(s)" in out
+        assert main(["queue", "status", str(qdir), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pending"] == 3 and payload["stale_leases"] == 0
+
+    def test_missing_queue_is_a_usage_error(self, tmp_path, capsys):
+        rc = main(["queue", "status", str(tmp_path / "nowhere")])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "no queue at" in err and "queue enqueue" in err
+
+    def test_enqueue_bad_specfile_is_a_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "exp.json"
+        bad.write_text(json.dumps({"workload": "tpcc-1", "axes": {"nope": [1]}}))
+        rc = main(["queue", "enqueue", str(bad), str(tmp_path / "q")])
+        assert rc == 2
+        assert capsys.readouterr().err.startswith("error:")
+
+
+@linux_only
+class TestMultiProcessChaos:
+    def test_three_workers_one_sigkilled_recover_byte_identical(
+        self, tmp_path
+    ):
+        """ACCEPTANCE: three concurrent ``repro queue work`` processes
+        drain one campaign; the one holding leases is SIGKILL'd
+        mid-sweep. The survivors (who themselves crash-and-retry every
+        first attempt in-process) reclaim its orphans and finish; the
+        recovered store is byte-identical per key to a fault-free
+        in-process reference, with no row lost and zero stale leases."""
+        axes = {"slicc.dilution_t": [2, 4, 6, 8, 10]}
+        specfile = write_specfile(tmp_path, axes=axes)
+        campaign = tmp_path / "campaign"
+
+        # Fault-free reference, entirely in this process.
+        from repro.exp import load_spec_file
+
+        specs, baseline = load_spec_file(specfile)
+        all_specs = list(specs) + ([baseline] if baseline else [])
+        keys = {s.key() for s in all_specs}
+        ref = ResultStore(tmp_path / "reference.jsonl")
+        Runner(store=ref, jobs=2).run(all_specs)
+
+        assert main(["queue", "enqueue", specfile, str(campaign)]) == 0
+
+        base_env = dict(
+            os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src")
+        )
+        base_env.pop("REPRO_FAULT", None)
+        base_env.pop("REPRO_FAULT_HANG_S", None)
+
+        def work(worker_id, fault=None, hang_s=None):
+            env = dict(base_env)
+            if fault:
+                env["REPRO_FAULT"] = fault
+            if hang_s:
+                env["REPRO_FAULT_HANG_S"] = hang_s
+            return subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "queue",
+                    "work",
+                    str(campaign),
+                    "--jobs",
+                    "1",
+                    "--lease",
+                    "1.5",
+                    "--retries",
+                    "2",
+                    "--poll",
+                    "0.1",
+                    "--worker-id",
+                    worker_id,
+                ],
+                env=env,
+                cwd=REPO_ROOT,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.PIPE,
+                text=True,
+            )
+
+        # The victim hangs inside every simulation, so it reliably sits
+        # on a lease; heartbeats keep the lease live until the kill.
+        victim = work("victim", fault="hang:1", hang_s="5")
+        survivors = []
+        try:
+            queue = WorkQueue(campaign, worker_id="observer")
+            deadline = time.monotonic() + 60
+            while time.monotonic() < deadline:
+                if queue.snapshot().workers.get("victim"):
+                    break
+                assert victim.poll() is None, victim.communicate()[1]
+                time.sleep(0.05)
+            else:  # pragma: no cover - victim never claimed
+                pytest.fail("victim never took a lease")
+
+            # Survivors crash every first in-process attempt (retries
+            # heal it) — the multi-process regime stacks on PR 7's.
+            survivors = [
+                work(w, fault="crash:1@1") for w in ("s1", "s2")
+            ]
+            time.sleep(0.3)  # let them start claiming alongside the victim
+            victim.send_signal(signal.SIGKILL)
+            # wait(), not communicate(): the victim's hung fork-worker
+            # inherited its output pipes and keeps them open until the
+            # injected hang elapses.
+            assert victim.wait(timeout=30) == -signal.SIGKILL
+
+            for proc in survivors:
+                stdout, stderr = proc.communicate(timeout=300)
+                assert proc.returncode == 0, stderr
+        finally:
+            for proc in [victim, *survivors]:
+                if proc.poll() is None:  # pragma: no cover - hung child
+                    proc.kill()
+                    proc.wait(timeout=30)
+                for pipe in (proc.stdout, proc.stderr):
+                    if pipe is not None:
+                        pipe.close()
+
+        status = WorkQueue(campaign, worker_id="check").snapshot()
+        assert status.drained
+        assert status.done == len(keys) and status.failed == 0
+        assert not status.stale
+
+        # The victim's orphaned lease was explicitly reclaimed.
+        events = queue_events(campaign)
+        assert any(
+            e["event"] == "abandoned"
+            and e["worker"] == "victim"
+            and e["reason"] == "lease-expired"
+            for e in events
+        )
+
+        # No row lost, every row byte-identical to the reference.
+        final = ResultStore(campaign)
+        assert set(final.keys()) == keys
+        for key in keys:
+            assert result_to_json(final.get(key)) == result_to_json(
+                ref.get(key)
+            )
+        assert audit_store(campaign).clean
