@@ -32,6 +32,17 @@ contract:
   execution never changes results;
 * ``repro queue status --json`` agrees (drained, nothing failed).
 
+Both regimes are store-backend aware: run with ``--backend sqlite`` (or
+``REPRO_STORE_BACKEND=sqlite``, which the CI matrix leg sets) and every
+store open in this process tree uses the SQLite backend instead of
+JSONL. The recovery contract is asserted identically, plus a migration
+gate: the recovered store is migrated across backends (always ending at
+JSONL) and the re-exported rows must still be byte-identical to the
+fault-free reference — format conversion after a chaotic campaign loses
+nothing. Under SQLite the ``torn_write`` fault is inert by design (WAL
+commits are atomic); crash/die/hang faults exercise WAL crash recovery
+instead, and the pinned single-process assertions only involve those.
+
 Faults are injected only inside this process tree and the profile is
 seeded, so the schedule — and therefore this script's outcome — is
 reproducible. Run from the repo root:
@@ -57,6 +68,7 @@ sys.path.insert(0, str(SRC))
 
 from repro.errors import SweepFailure  # noqa: E402
 from repro.exp import (  # noqa: E402
+    STORE_BACKENDS,
     ExperimentSpec,
     ResultStore,
     Runner,
@@ -64,6 +76,8 @@ from repro.exp import (  # noqa: E402
     audit_store,
     compact_store,
     grid,
+    migrate_store,
+    resolve_backend,
     result_to_json,
     spec_for,
 )
@@ -114,6 +128,50 @@ def build_declarative_specs():
             "variant": ["base", "slicc", "slicc-sw"],
             "slicc.dilution_t": [0, 5],
         },
+    )
+
+
+def active_backend() -> str:
+    """The store backend this chaos run exercises (campaign paths are
+    directories, so the environment decides)."""
+    return os.environ.get("REPRO_STORE_BACKEND", "").strip().lower() or "jsonl"
+
+
+def check_migration(campaign: Path, keys, reference) -> None:
+    """Migration invariant under chaos: the recovered store survives a
+    backend conversion with every result row byte-identical.
+
+    A SQLite campaign migrates straight to JSONL; a JSONL campaign
+    round-trips through SQLite and back. Either way the last hop is a
+    JSONL export, so the gate matches what the nightly artifact check
+    asserts. The hop files use non-default names, so they never
+    confuse the campaign directory's backend detection.
+    """
+    active = resolve_backend(campaign)
+    if active == "sqlite":
+        hops = [campaign / "migrate-check.jsonl"]
+    else:
+        hops = [
+            campaign / "migrate-check.sqlite",
+            campaign / "migrate-check.jsonl",
+        ]
+    src: Path = campaign
+    for dst in hops:
+        migrate_store(src, dst)
+        src = dst
+    exported = ResultStore(hops[-1])
+    assert set(exported.keys()) == set(keys), (
+        "migration dropped spec rows: "
+        f"{sorted(set(keys) - set(exported.keys()))[:3]}…"
+    )
+    for key in keys:
+        assert result_to_json(exported.get(key)) == reference[key], (
+            f"migrated row for {key[:12]} diverges from the fault-free "
+            "reference"
+        )
+    chain = " -> ".join([active] + [h.suffix.lstrip(".") for h in hops])
+    print(
+        f"  migration check: {chain} byte-identical ({len(keys)} rows)"
     )
 
 
@@ -197,9 +255,10 @@ def run_single(args) -> int:
             f"chaos-recovered row for {key[:12]} diverges from the "
             "fault-free reference"
         )
+    check_migration(store_path, keys, reference)
     print(
         f"chaos check passed: {len(keys)} specs recovered byte-identical "
-        f"under {CHAOS_PROFILE!r}"
+        f"under {CHAOS_PROFILE!r} ({active_backend()} store)"
     )
     return 0
 
@@ -378,6 +437,10 @@ def run_multi(args) -> int:
     payload = json.loads(status_json.stdout)
     assert payload["drained"] and payload["stale_leases"] == 0, payload
     assert payload["done"] == len(keys) and payload["failed"] == 0, payload
+    # The payload must name the campaign's store backend and schema so
+    # CI legs can pin the leg they think they are running.
+    assert payload["store_backend"] == active_backend(), payload
+    assert payload["store_schema_version"] == 1, payload
 
     before, kept = compact_store(campaign)
     audit = audit_store(campaign)
@@ -393,6 +456,7 @@ def run_multi(args) -> int:
             f"multi-process row for {key[:12]} diverges from the "
             "fault-free reference"
         )
+    check_migration(campaign, keys, reference)
     print(
         f"multi-process chaos check passed: {len(keys)} specs, "
         f"{len(abandoned)} lease reclaim(s), workers lost: "
@@ -414,6 +478,14 @@ def main(argv=None) -> int:
         "--store", default=None, help="store directory (default: temp)"
     )
     parser.add_argument(
+        "--backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="store backend to chaos-test (exported as "
+        "REPRO_STORE_BACKEND so worker subprocesses inherit it; "
+        "default: the inherited environment, else jsonl)",
+    )
+    parser.add_argument(
         "--processes",
         type=int,
         default=1,
@@ -422,6 +494,8 @@ def main(argv=None) -> int:
         "whole-worker kills (default: 1 = single-process regime)",
     )
     args = parser.parse_args(argv)
+    if args.backend:
+        os.environ["REPRO_STORE_BACKEND"] = args.backend
     if args.processes > 1:
         return run_multi(args)
     return run_single(args)

@@ -7,7 +7,7 @@ Commands
 ``exp``     run a declarative experiment spec file end-to-end
 ``paper``   reproduce the registered paper figures into a report
 ``queue``   enqueue / drain a durable multi-worker sweep queue
-``store``   verify / compact a JSONL result store
+``store``   verify / compact / migrate a result store (jsonl or sqlite)
 ``info``    show workload and machine parameters
 
 Exit codes
@@ -31,6 +31,9 @@ Examples::
     python -m repro queue enqueue experiments/dilution.json campaign/
     python -m repro queue work campaign/ --jobs 4   # on many machines
     python -m repro queue status campaign/ --json
+    python -m repro exp experiments/dilution.json --store results/ \\
+        --backend sqlite                      # indexed store for big sweeps
+    python -m repro store migrate results/ results/export.jsonl
     python -m repro info tpce
 """
 
@@ -52,14 +55,17 @@ from repro.analysis import (
 )
 from repro.errors import ConfigurationError, ReproError, SweepFailure
 from repro.exp import (
+    STORE_BACKENDS,
     ResultStore,
     Runner,
     WorkQueue,
     audit_store,
     compact_store,
+    describe_store,
     drain,
     figure_names,
     load_spec_file,
+    migrate_store,
     select_figures,
     spec_for,
     summarize,
@@ -98,8 +104,17 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
         "--store",
         default=None,
         metavar="DIR",
-        help="persist results as JSONL under DIR; reruns become "
-        "incremental (default: in-memory only)",
+        help="persist results under DIR; reruns become incremental "
+        "(default: in-memory only)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="store backend: jsonl (append-only file, the default) or "
+        "sqlite (WAL database with an index on the spec key — right "
+        "for very large sweeps). Default: decided by the --store path "
+        "suffix, an existing store file, or REPRO_STORE_BACKEND",
     )
     parser.add_argument(
         "--retries",
@@ -120,7 +135,11 @@ def _add_exec(parser: argparse.ArgumentParser) -> None:
 
 
 def _make_runner(args: argparse.Namespace) -> Runner:
-    store = ResultStore(args.store) if args.store else None
+    store = (
+        ResultStore(args.store, backend=args.backend)
+        if args.store
+        else None
+    )
     return Runner(
         store=store,
         jobs=args.jobs,
@@ -300,7 +319,11 @@ def _cmd_paper(args: argparse.Namespace) -> int:
     out.mkdir(parents=True, exist_ok=True)
     # The store lives inside the report directory by default, so pointing
     # a second invocation at the same --out is what makes it resumable.
-    store = ResultStore(args.store if args.store else out / "results.jsonl")
+    # Passing the directory (not a fixed filename) lets --backend /
+    # REPRO_STORE_BACKEND / an existing store file pick the format.
+    store = ResultStore(
+        args.store if args.store else out, backend=args.backend
+    )
     runner = Runner(
         store=store,
         jobs=args.jobs,
@@ -336,6 +359,7 @@ def _cmd_paper(args: argparse.Namespace) -> int:
 
 def _audit_rows(audit) -> list[list[object]]:
     return [
+        ["backend", f"{audit.backend} (schema v{audit.schema_version})"],
         ["lines", audit.lines],
         ["result rows", audit.result_rows],
         ["failure rows", audit.failure_rows],
@@ -344,12 +368,41 @@ def _audit_rows(audit) -> list[list[object]]:
         ["superseded rows", audit.superseded],
         ["blank lines", audit.blank],
         ["corrupt lines", audit.corrupt],
+        ["integrity", audit.integrity],
     ]
 
 
+def _cmd_store_migrate(args: argparse.Namespace) -> int:
+    if not args.dst:
+        raise ConfigurationError(
+            "migrate needs a destination: "
+            "repro store migrate <src> <dst>"
+        )
+    report = migrate_store(
+        args.path,
+        args.dst,
+        src_backend=args.src_backend or args.backend,
+        dst_backend=args.dst_backend,
+    )
+    print(
+        f"migrated {report.src} ({report.src_backend}) -> {report.dst} "
+        f"({report.dst_backend}): {report.results} result row(s), "
+        f"{report.failures} failure row(s), {report.quarantined} "
+        f"quarantined line(s) carried over"
+    )
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
+    if args.action == "migrate":
+        return _cmd_store_migrate(args)
+    if args.dst:
+        raise ConfigurationError(
+            f"`store {args.action}` takes one path; a destination only "
+            "makes sense for `store migrate`"
+        )
     if args.action == "verify":
-        audit = audit_store(args.path)
+        audit = audit_store(args.path, backend=args.backend)
         if args.json:
             payload = asdict(audit)
             payload["path"] = str(audit.path)
@@ -379,7 +432,14 @@ def _cmd_store(args: argparse.Namespace) -> int:
             + ")"
         )
         return 0
-    before, kept = compact_store(args.path)
+    before, kept = compact_store(args.path, backend=args.backend)
+    if before.backend == "sqlite":
+        print(
+            f"compacted {before.path}: {before.lines} rows -> {kept} "
+            f"kept ({before.corrupt} corrupt -> quarantine table; "
+            "WAL checkpointed, database vacuumed)"
+        )
+        return 0
     print(
         f"compacted {before.path}: {before.lines} lines -> {kept} rows "
         f"(dropped {before.superseded} superseded, {before.blank} blank, "
@@ -439,7 +499,7 @@ def _cmd_queue_work(args: argparse.Namespace) -> int:
     queue = _require_queue(args, worker_id=args.worker_id)
     store_path = Path(args.store) if args.store else queue.path.parent
     runner = Runner(
-        store=ResultStore(store_path),
+        store=ResultStore(store_path, backend=args.backend),
         jobs=args.jobs,
         retries=args.retries,
         timeout=args.timeout,
@@ -465,8 +525,19 @@ def _cmd_queue_work(args: argparse.Namespace) -> int:
 def _cmd_queue_status(args: argparse.Namespace) -> int:
     queue = _require_queue(args)
     status = queue.snapshot()
+    # The campaign's store lives next to the queue by convention; name
+    # its backend and schema so nightly/chaos gates can assert on them.
+    store_info = describe_store(queue.path.parent)
     if args.json:
-        print(json.dumps(status.to_payload(), indent=2, sort_keys=True))
+        payload = status.to_payload()
+        payload["store_backend"] = (
+            store_info["backend"] if store_info else None
+        )
+        payload["store_schema_version"] = (
+            store_info["schema_version"] if store_info else None
+        )
+        payload["store_path"] = store_info["path"] if store_info else None
+        print(json.dumps(payload, indent=2, sort_keys=True))
         return 0
     rows = [
         ["pending", status.pending],
@@ -487,6 +558,12 @@ def _cmd_queue_status(args: argparse.Namespace) -> int:
             f"expired {stale.overdue:.1f}s ago after {stale.claims} "
             f"claim(s) — workers reclaim it automatically, or run "
             f"`repro queue reclaim`"
+        )
+    if store_info:
+        print(
+            f"store: {store_info['backend']} "
+            f"(schema v{store_info['schema_version']}) at "
+            f"{store_info['path']}"
         )
     if status.drained:
         print("drained: no pending work, no live leases")
@@ -658,7 +735,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         default=None,
         metavar="DIR",
-        help="result store (default: results.jsonl next to the queue)",
+        help="result store (default: the campaign directory next to "
+        "the queue)",
+    )
+    q_work.add_argument(
+        "--backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="store backend (jsonl or sqlite); default decided by the "
+        "store path, an existing store file, or REPRO_STORE_BACKEND. "
+        "Every worker of a campaign must agree on the backend",
     )
     q_work.add_argument(
         "--jobs",
@@ -744,22 +830,52 @@ def build_parser() -> argparse.ArgumentParser:
 
     store = sub.add_parser(
         "store",
-        help="verify / compact a JSONL result store",
-        description="Maintain a campaign's JSONL result store. "
-        "`verify` audits the file line by line (corrupt, superseded, "
-        "blank and failure rows) without modifying it and exits 1 when "
-        "corruption is found; `compact` rewrites the store atomically, "
-        "keeping the last result per key (plus live failure rows) and "
-        "moving corrupt lines to the .quarantine sidecar.",
+        help="verify / compact / migrate a result store (jsonl or sqlite)",
+        description="Maintain a campaign's result store (JSONL file or "
+        "SQLite database; the backend is inferred from the path suffix, "
+        "an existing store file, or REPRO_STORE_BACKEND). `verify` "
+        "audits without modifying anything and exits 1 when corruption "
+        "is found (line scan for jsonl; row scan + PRAGMA "
+        "integrity_check for sqlite); `compact` garbage-collects "
+        "(atomic rewrite dropping superseded history for jsonl; "
+        "idempotent re-upsert + WAL checkpoint + VACUUM for sqlite), "
+        "quarantining corrupt rows either way; `migrate <src> <dst>` "
+        "converts between backends with byte-identical result rows, "
+        "quarantined lines included.",
     )
-    store.add_argument("action", choices=["verify", "compact"])
+    store.add_argument("action", choices=["verify", "compact", "migrate"])
     store.add_argument(
-        "path", help="store directory or .jsonl file (as given to --store)"
+        "path", help="store directory or store file (as given to --store)"
+    )
+    store.add_argument(
+        "dst",
+        nargs="?",
+        default=None,
+        help="migration destination (migrate only): directory or store "
+        "file; its suffix picks the target backend",
     )
     store.add_argument(
         "--json",
         action="store_true",
         help="machine-readable audit JSON (verify only; same exit codes)",
+    )
+    store.add_argument(
+        "--backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="force the backend of PATH instead of inferring it",
+    )
+    store.add_argument(
+        "--src-backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="force the source backend for migrate (alias of --backend)",
+    )
+    store.add_argument(
+        "--dst-backend",
+        choices=STORE_BACKENDS,
+        default=None,
+        help="force the destination backend for migrate",
     )
     store.set_defaults(func=_cmd_store)
 

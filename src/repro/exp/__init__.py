@@ -47,11 +47,16 @@ from repro.exp.spec import (
 )
 from repro.exp.specfile import load_spec_file
 from repro.exp.store import (
+    STORE_BACKENDS,
     LoadReport,
+    MigrationReport,
     ResultStore,
     StoreAudit,
     audit_store,
     compact_store,
+    describe_store,
+    migrate_store,
+    resolve_backend,
     resolve_store_path,
     result_from_dict,
     result_to_dict,
@@ -69,8 +74,10 @@ __all__ = [
     "FigureRow",
     "LeaseHeartbeat",
     "LoadReport",
+    "MigrationReport",
     "QueueStatus",
     "ResultStore",
+    "STORE_BACKENDS",
     "Runner",
     "RunnerStats",
     "SpecOutcome",
@@ -80,7 +87,10 @@ __all__ = [
     "active_plan",
     "audit_store",
     "compact_store",
+    "describe_store",
     "drain",
+    "migrate_store",
+    "resolve_backend",
     "figure_names",
     "get_figure",
     "grid",

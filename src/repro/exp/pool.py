@@ -36,6 +36,7 @@ simulation it finished.
 from __future__ import annotations
 
 import hashlib
+import os
 import signal
 import threading
 import time
@@ -92,13 +93,24 @@ class _Task:
     not_before: float = 0.0
 
 
-def _worker_main(conn, explicit) -> None:
+def _worker_main(conn, explicit, parent_pid) -> None:
     """Worker loop: receive ``(key, spec, attempt)``, simulate, reply.
 
     SIGINT is ignored (the parent coordinates draining); SIGTERM keeps
     its default fatal disposition so the parent's timeout kill works.
     Exceptions are reported over the pipe, never raised — a poison spec
     must cost one task, not one worker.
+
+    The idle wait is a bounded ``poll`` plus an orphan check rather
+    than a bare ``recv``: sibling workers forked later inherit a copy
+    of the parent's end of this pipe, so if the parent is SIGKILL'd the
+    pipe never reaches EOF — two idle siblings would keep each other
+    (and every inherited fd, including a captured stdout) alive
+    forever. Re-parenting to init is the unambiguous death signal.
+    ``parent_pid`` is captured on the parent side *before* the fork —
+    a child that asked ``os.getppid()`` itself could record the
+    reaper's pid if the parent died in the fork window, disabling the
+    check.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
@@ -110,6 +122,10 @@ def _worker_main(conn, explicit) -> None:
     runner_mod._init_worker(explicit)
     while True:
         try:
+            while not conn.poll(1.0):
+                if os.getppid() != parent_pid:  # orphaned by a kill
+                    conn.close()
+                    return
             task = conn.recv()
         except (EOFError, OSError, KeyboardInterrupt):
             break
@@ -135,7 +151,7 @@ class _Worker:
         self.conn, child_conn = ctx.Pipe(duplex=True)
         self.process = ctx.Process(
             target=_worker_main,
-            args=(child_conn, explicit),
+            args=(child_conn, explicit, os.getpid()),
             name=f"repro-exp-worker-{wid}",
             daemon=True,
         )

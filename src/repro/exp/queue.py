@@ -73,7 +73,7 @@ from repro.errors import ConfigurationError, ReproError, SweepFailure
 from repro.exp import faults
 from repro.exp.pool import _backoff_delay
 from repro.exp.spec import ExperimentSpec, spec_from_dict
-from repro.exp.store import ResultStore, _resolve_jsonl
+from repro.exp.store import _resolve_jsonl, tail_torn
 
 __all__ = [
     "ClaimedSpec",
@@ -373,7 +373,7 @@ class WorkQueue:
         )
         fd = os.open(self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644)
         try:
-            if ResultStore._tail_torn(fd):
+            if tail_torn(fd):
                 os.write(fd, b"\n")
             if torn:
                 # Injected torn write: half the line, no newline, no

@@ -1,35 +1,45 @@
-"""Content-addressed result persistence.
+"""Content-addressed result persistence with pluggable backends.
 
 A :class:`ResultStore` maps :meth:`ExperimentSpec.key` hashes to
-:class:`~repro.sim.results.SimulationResult` rows. It always keeps an
-in-memory index; given a path it additionally appends one JSON line per
-new result, so repeated sweeps over overlapping grids only simulate the
-points they have not seen (the store makes campaigns *incremental*).
+:class:`~repro.sim.results.SimulationResult` rows. Persistence is
+delegated to a :class:`StoreBackend`; two are built in:
 
-The JSONL format is append-only — a rerun never rewrites history, and on
-load later lines win, so a row can be superseded simply by appending.
-Durability guarantees (the groundwork for multi-writer campaign stores):
+``jsonl``
+    The original append-only JSONL file. One locked fsync'd ``os.write``
+    per row (``O_APPEND`` + ``flock`` on a ``.lock`` sidecar), a
+    self-healing torn tail, corruption quarantined to a ``.quarantine``
+    sidecar on load, last-wins per key. Loading reads the whole file —
+    right for hundreds of rows, linear for millions.
+``sqlite``
+    A WAL-mode SQLite database with a ``results`` table and a UNIQUE
+    index on the canonical key, so the last-result-per-key invariant is
+    structural and dedup/resume lookups are O(log n) point queries
+    instead of whole-file folds. Failure rows keep their ``kind`` /
+    ``error`` / ``attempts`` as real columns. Torn-write faults do not
+    apply: SQLite's WAL makes every commit atomic (see
+    :mod:`repro.exp.store_sqlite`).
 
-* **Atomic appends.** Each row is one ``os.write`` of a complete line
-  followed by ``fsync``, under an advisory ``flock`` on a ``.lock``
-  sidecar, so concurrent writers never interleave bytes and a crash
-  can lose at most the row being written.
-* **Self-healing tail.** If a previous writer died mid-append (torn
-  trailing line with no newline), the next append writes a newline
-  first, so the torn fragment is isolated on its own line instead of
-  corrupting the next good row.
-* **Quarantine, not refusal.** ``_load`` skips malformed/truncated
-  lines, copies them to a ``.quarantine`` sidecar, and warns — a
-  corrupt row is re-derivable by rerunning its spec, so it must never
-  brick the whole store. ``repro store verify`` reports corruption and
-  superseded rows; ``repro store compact`` rewrites the file
-  (write-to-temp + ``os.replace``) keeping only live rows.
+**Backend selection** (first match wins):
 
-Besides results, the store records *structured failure rows* (specs that
-exhausted their retries or timed out — see
-:class:`~repro.exp.runner.Runner`). Failures are provenance, not cache
-entries: ``get`` never serves them, so a resumed campaign retries the
-failed specs.
+1. an explicit ``backend=`` argument / ``--backend`` flag;
+2. the path suffix (``*.jsonl`` vs ``*.sqlite`` / ``*.db`` /
+   ``*.sqlite3``);
+3. for directory paths, a store file already present in the directory
+   (an existing campaign keeps its format regardless of environment);
+4. the ``REPRO_STORE_BACKEND`` environment variable;
+5. the default, ``jsonl``.
+
+:func:`migrate_store` converts a store either way with byte-identical
+result rows (the canonical JSON of every row survives a round trip),
+including quarantined lines. Both backends share the store's contract:
+
+* **Results outrank failures.** ``get`` never serves a failure row, and
+  a successful ``put`` clears the key's failure record — failures are
+  provenance, not cache entries, so a resumed campaign retries them.
+* **A corrupt row never bricks the store.** It is quarantined (sidecar
+  file or ``quarantine`` table) and the row is re-derivable by rerunning
+  its spec. ``repro store verify`` reports health, ``repro store
+  compact`` rewrites/garbage-collects.
 """
 
 from __future__ import annotations
@@ -40,7 +50,7 @@ import warnings
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterable, Iterator, Optional, Union
 
 try:  # Advisory locking is POSIX-only; the store degrades gracefully.
     import fcntl
@@ -50,6 +60,30 @@ except ImportError:  # pragma: no cover - non-POSIX platforms
 from repro.errors import ConfigurationError
 from repro.exp import faults
 from repro.sim.results import SimulationResult
+
+#: Environment variable naming the default backend for paths that do not
+#: pin one themselves (directories without an existing store file).
+BACKEND_ENV = "REPRO_STORE_BACKEND"
+
+#: Known backend kinds, in documentation order.
+STORE_BACKENDS = ("jsonl", "sqlite")
+
+DEFAULT_BACKEND = "jsonl"
+
+#: Store filename created inside a directory path, per backend.
+DEFAULT_BASENAMES = {"jsonl": "results.jsonl", "sqlite": "results.sqlite"}
+
+#: Path suffixes that pin a backend.
+SUFFIX_BACKENDS = {
+    ".jsonl": "jsonl",
+    ".sqlite": "sqlite",
+    ".sqlite3": "sqlite",
+    ".db": "sqlite",
+}
+
+#: Schema version of the JSONL row format (one JSON object per line with
+#: a ``key`` and either a ``result`` or a ``failure`` payload).
+JSONL_SCHEMA_VERSION = 1
 
 
 def result_to_dict(result: SimulationResult) -> dict:
@@ -69,6 +103,78 @@ def result_to_json(result: SimulationResult) -> str:
     return json.dumps(
         result_to_dict(result), sort_keys=True, separators=(",", ":")
     )
+
+
+# ----------------------------------------------------------------------
+# Backend + path resolution
+# ----------------------------------------------------------------------
+
+
+def _env_backend() -> Optional[str]:
+    value = os.environ.get(BACKEND_ENV, "").strip().lower()
+    if not value:
+        return None
+    if value not in STORE_BACKENDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV}={value!r} is not a known store backend; "
+            f"known: {list(STORE_BACKENDS)}"
+        )
+    return value
+
+
+def _detect_existing(directory: Path) -> Optional[str]:
+    """Backend of the store file already present in a directory.
+
+    ``None`` when the directory holds no store — or, ambiguously, one
+    per backend (a half-migrated campaign); selection then falls
+    through to the environment/default so the caller's intent decides.
+    """
+    present = [
+        kind
+        for kind, name in DEFAULT_BASENAMES.items()
+        if (directory / name).exists()
+    ]
+    if len(present) == 1:
+        return present[0]
+    return None
+
+
+def resolve_backend(
+    path: Union[str, Path, None] = None, backend: Optional[str] = None
+) -> str:
+    """Resolve the backend kind for a store path.
+
+    Precedence: explicit ``backend`` argument > path suffix > existing
+    store file in a directory path > ``REPRO_STORE_BACKEND`` > jsonl.
+    An explicit argument that contradicts the path suffix is a
+    configuration error, not a silent override.
+    """
+    if backend is not None and backend not in STORE_BACKENDS:
+        raise ConfigurationError(
+            f"unknown store backend {backend!r}; known: "
+            f"{list(STORE_BACKENDS)}"
+        )
+    suffix_kind = detected = None
+    if path is not None:
+        p = Path(path)
+        if p.is_dir():
+            detected = _detect_existing(p)
+        elif p.suffix:
+            suffix_kind = SUFFIX_BACKENDS.get(p.suffix)
+        else:
+            detected = _detect_existing(p)
+    if backend is not None:
+        if suffix_kind is not None and suffix_kind != backend:
+            raise ConfigurationError(
+                f"backend {backend!r} contradicts the {Path(path).suffix} "
+                f"suffix of {path}; drop one of the two"
+            )
+        return backend
+    if suffix_kind is not None:
+        return suffix_kind
+    if detected is not None:
+        return detected
+    return _env_backend() or DEFAULT_BACKEND
 
 
 def _resolve_jsonl(path: Union[str, Path], default_name: str) -> Path:
@@ -95,14 +201,58 @@ def _resolve_jsonl(path: Union[str, Path], default_name: str) -> Path:
     return path
 
 
-def resolve_store_path(path: Union[str, Path]) -> Path:
-    """Normalise a store argument to its backing ``results.jsonl`` file."""
-    return _resolve_jsonl(path, "results.jsonl")
+def _resolve_sqlite(path: Union[str, Path]) -> Path:
+    """Normalise a SQLite-store argument to its backing database file."""
+    path = Path(path)
+    if path.is_dir():
+        return path / DEFAULT_BASENAMES["sqlite"]
+    if path.suffix and SUFFIX_BACKENDS.get(path.suffix) != "sqlite":
+        raise ConfigurationError(
+            f"store path {path} looks like a file but is not a SQLite "
+            "database (*.sqlite / *.sqlite3 / *.db); pass a directory "
+            "or a database file"
+        )
+    if not path.suffix:
+        return path / DEFAULT_BASENAMES["sqlite"]
+    return path
+
+
+def resolve_store_path(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> Path:
+    """Normalise a store argument to its backing file for its backend."""
+    kind = resolve_backend(path, backend)
+    if kind == "sqlite":
+        return _resolve_sqlite(path)
+    return _resolve_jsonl(path, DEFAULT_BASENAMES["jsonl"])
+
+
+def describe_store(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> Optional[dict]:
+    """Backend/schema facts about the store at ``path``, or ``None``
+    when no store file exists there yet. Powers the backend fields of
+    ``repro queue status --json``."""
+    kind = resolve_backend(path, backend)
+    file = resolve_store_path(path, kind)
+    if not file.exists():
+        return None
+    if kind == "sqlite":
+        from repro.exp.store_sqlite import SQLITE_SCHEMA_VERSION
+
+        version = SQLITE_SCHEMA_VERSION
+    else:
+        version = JSONL_SCHEMA_VERSION
+    return {
+        "backend": kind,
+        "schema_version": version,
+        "path": str(file),
+    }
 
 
 @dataclass
 class LoadReport:
-    """What :meth:`ResultStore._load` found in the backing file."""
+    """What opening a persistent store found in its backing file."""
 
     lines: int = 0
     #: Blank lines (skipped silently; an editor artefact, not corruption).
@@ -117,51 +267,142 @@ class LoadReport:
     failures: int = 0
 
 
-class ResultStore:
-    """Keyed store of simulation results, optionally backed by JSONL.
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
 
-    Args:
-        path: ``None`` for a purely in-memory store; otherwise a
-            directory (a ``results.jsonl`` file is created inside) or a
-            ``*.jsonl`` file path.
+
+def tail_torn(fd: int) -> bool:
+    """Does the file end in a partial line (crashed writer)?
+
+    Reading moves the shared offset, which is harmless: callers open
+    the fd ``O_APPEND``, so writes go to end-of-file regardless. Shared
+    with the work queue's event log, which uses the same torn-tail
+    healing rule.
+    """
+    size = os.fstat(fd).st_size
+    if size == 0:
+        return False
+    os.lseek(fd, size - 1, os.SEEK_SET)
+    return os.read(fd, 1) != b"\n"
+
+
+class StoreBackend:
+    """Persistence strategy behind a :class:`ResultStore`.
+
+    A backend owns one store file and implements keyed access plus the
+    bulk import/export surface migration and benchmarks use. Rows cross
+    the boundary in the canonical JSONL row shape — ``{"key", "spec",
+    "result"}`` for results, ``{"key", "spec", "failure"}`` for
+    failures — so every backend round-trips through the same dicts and
+    migrated rows stay byte-identical under canonical JSON.
     """
 
-    def __init__(self, path: Union[str, Path, None] = None) -> None:
+    #: Backend kind string (``jsonl`` / ``sqlite``).
+    kind: str = "?"
+    #: Version of the on-disk schema this implementation writes.
+    schema_version: int = 0
+
+    path: Optional[Path] = None
+
+    # Keyed access ----------------------------------------------------
+    def load(self) -> LoadReport:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def spec_info(self, key: str) -> Optional[dict]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def failure_info(self, key: str) -> Optional[dict]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def failures(self) -> dict[str, dict]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def put(self, key, result, spec_payload) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def put_failure(self, key, failure, spec_payload) -> None:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def contains(self, key: str) -> bool:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def count(self) -> int:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def keys(self) -> Iterator[str]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def results(self) -> Iterator[SimulationResult]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    # Bulk import/export (migration, benchmarks) ----------------------
+    def export_rows(self) -> Iterator[dict]:
+        """Live rows in first-insertion order, canonical row shape.
+
+        Results outrank failure provenance: a failure row whose key
+        also holds a result is not exported (mirroring the queue's
+        ``done``-supersedes-``failed`` fold rule).
+        """
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def bulk_load(self, rows: Iterable[dict]) -> tuple[int, int]:
+        """Apply rows in order with normal fold semantics, batched for
+        throughput. Returns ``(result rows, failure rows)`` applied."""
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def quarantine_lines(self) -> list[str]:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def add_quarantine(self, lines: Iterable[str]) -> int:
+        raise NotImplementedError  # pragma: no cover - interface
+
+    def close(self) -> None:
+        """Release file handles (no-op for file-per-write backends)."""
+
+
+class JsonlBackend(StoreBackend):
+    """The original append-only JSONL store file, behavior-identical.
+
+    Keeps the whole store in memory (loaded once at open); durability
+    comes from atomic locked fsync'd appends with a self-healing torn
+    tail, and corruption is quarantined to a sidecar on load. With
+    ``path=None`` this is the purely in-memory store (no file I/O at
+    all).
+    """
+
+    kind = "jsonl"
+    schema_version = JSONL_SCHEMA_VERSION
+
+    def __init__(self, path: Optional[Path]) -> None:
         self._results: dict[str, SimulationResult] = {}
         self._specs: dict[str, dict] = {}
         self._failures: dict[str, dict] = {}
-        self._path: Optional[Path] = None
-        #: Populated by the initial load of a persistent store.
-        self.load_report = LoadReport()
+        self.path = path
         if path is not None:
-            path = resolve_store_path(path)
             path.parent.mkdir(parents=True, exist_ok=True)
-            self._path = path
-            self._load()
-
-    @property
-    def path(self) -> Optional[Path]:
-        """Backing JSONL file (``None`` for in-memory stores)."""
-        return self._path
 
     @property
     def quarantine_path(self) -> Optional[Path]:
         """Sidecar file corrupt lines are quarantined to."""
-        if self._path is None:
+        if self.path is None:
             return None
-        return self._path.with_name(self._path.name + ".quarantine")
+        return self.path.with_name(self.path.name + ".quarantine")
 
     @property
     def lock_path(self) -> Optional[Path]:
         """Sidecar lockfile serialising appends and compaction."""
-        if self._path is None:
+        if self.path is None:
             return None
-        return self._path.with_name(self._path.name + ".lock")
+        return self.path.with_name(self.path.name + ".lock")
 
     @contextmanager
     def _locked(self):
         """Hold the advisory writer lock (no-op without fcntl/a path)."""
-        if fcntl is None or self._path is None:
+        if fcntl is None or self.path is None:
             yield
             return
         fd = os.open(self.lock_path, os.O_CREAT | os.O_RDWR, 0o644)
@@ -171,13 +412,12 @@ class ResultStore:
         finally:
             os.close(fd)  # closing the descriptor releases the flock
 
-    def _load(self) -> None:
+    def load(self) -> LoadReport:
         report = LoadReport()
-        self.load_report = report
-        if self._path is None or not self._path.exists():
-            return
+        if self.path is None or not self.path.exists():
+            return report
         corrupt_lines: list[str] = []
-        with self._path.open("r", encoding="utf-8") as fh:
+        with self.path.open("r", encoding="utf-8") as fh:
             for raw in fh:
                 report.lines += 1
                 line = raw.strip()
@@ -209,6 +449,7 @@ class ResultStore:
         report.failures = len(self._failures)
         if corrupt_lines:
             self._quarantine(corrupt_lines)
+        return report
 
     def _quarantine(self, lines: list[str]) -> None:
         """Copy corrupt lines to the sidecar (deduplicated) and warn.
@@ -217,6 +458,15 @@ class ResultStore:
         store compact`` is the explicit operation that removes the
         corruption from the main file.
         """
+        self.add_quarantine(lines)
+        warnings.warn(
+            f"{self.path}: skipped {len(lines)} corrupt line(s) "
+            f"(quarantined to {self.quarantine_path.name}); run `repro "
+            f"store compact {self.path}` to rewrite the store",
+            stacklevel=2,
+        )
+
+    def add_quarantine(self, lines: Iterable[str]) -> int:
         sidecar = self.quarantine_path
         seen: set[str] = set()
         if sidecar.exists():
@@ -226,42 +476,28 @@ class ResultStore:
             with sidecar.open("a", encoding="utf-8") as fh:
                 for line in fresh:
                     fh.write(line + "\n")
-        warnings.warn(
-            f"{self._path}: skipped {len(lines)} corrupt line(s) "
-            f"(quarantined to {sidecar.name}); run `repro store compact "
-            f"{self._path}` to rewrite the store",
-            stacklevel=2,
-        )
+        return len(fresh)
+
+    def quarantine_lines(self) -> list[str]:
+        sidecar = self.quarantine_path
+        if sidecar is None or not sidecar.exists():
+            return []
+        return sidecar.read_text(encoding="utf-8").splitlines()
 
     def get(self, key: str) -> Optional[SimulationResult]:
-        """The stored result for a spec key, or ``None``."""
         return self._results.get(key)
 
     def spec_info(self, key: str) -> Optional[dict]:
-        """The spec dict recorded with a result (provenance), if any."""
         return self._specs.get(key)
 
     def failure_info(self, key: str) -> Optional[dict]:
-        """The live failure record for a spec key, if any.
-
-        Cleared by a later successful ``put`` for the same key. Never
-        served as a cache hit — a resumed campaign retries failed specs.
-        """
         return self._failures.get(key)
 
     def failures(self) -> dict[str, dict]:
-        """All live failure records, keyed by spec key."""
         return dict(self._failures)
 
-    def put(self, key: str, result: SimulationResult, spec=None) -> None:
-        """Record a result; appends to the JSONL file when persistent.
-
-        ``spec`` (an :class:`~repro.exp.spec.ExperimentSpec` or a plain
-        dict) is stored alongside purely for human inspection of the
-        file — lookups only ever use ``key``.
-        """
+    def put(self, key, result, spec_payload) -> None:
         self._results[key] = result
-        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
         self._specs[key] = spec_payload or {}
         self._failures.pop(key, None)
         self._append(
@@ -273,15 +509,8 @@ class ResultStore:
             },
         )
 
-    def put_failure(self, key: str, failure: dict, spec=None) -> None:
-        """Record a structured failure row (spec exhausted its retries).
-
-        ``failure`` should carry at least ``kind`` (``error`` /
-        ``worker-death`` / ``timeout``), ``error`` and ``attempts`` —
-        the :class:`~repro.exp.runner.Runner` builds these.
-        """
+    def put_failure(self, key, failure, spec_payload) -> None:
         self._failures[key] = failure
-        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
         self._append(
             key,
             {"key": key, "spec": spec_payload, "failure": failure},
@@ -296,17 +525,17 @@ class ResultStore:
         newline), a newline is written first so the fragment stays
         isolated on its own line.
         """
-        if self._path is None:
+        if self.path is None:
             return
         line = (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
         plan = faults.active_plan()
         torn = plan is not None and plan.should_tear(key)
         with self._locked():
             fd = os.open(
-                self._path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
             )
             try:
-                if self._tail_torn(fd):
+                if tail_torn(fd):
                     os.write(fd, b"\n")
                 if torn:
                     # Injected torn write: half the line, no newline, no
@@ -318,36 +547,215 @@ class ResultStore:
             finally:
                 os.close(fd)
 
-    @staticmethod
-    def _tail_torn(fd: int) -> bool:
-        """Does the file end in a partial line (crashed writer)?
-
-        Reading moves the shared offset, which is harmless: the fd is
-        ``O_APPEND``, so writes go to end-of-file regardless.
-        """
-        size = os.fstat(fd).st_size
-        if size == 0:
-            return False
-        os.lseek(fd, size - 1, os.SEEK_SET)
-        return os.read(fd, 1) != b"\n"
-
-    def __contains__(self, key: str) -> bool:
+    def contains(self, key: str) -> bool:
         return key in self._results
 
-    def __len__(self) -> int:
+    def count(self) -> int:
         return len(self._results)
 
     def keys(self) -> Iterator[str]:
-        """All stored spec keys."""
         return iter(self._results)
 
     def results(self) -> Iterator[SimulationResult]:
-        """All stored results."""
         return iter(self._results.values())
 
+    def export_rows(self, shadowed_failures: bool = False) -> Iterator[dict]:
+        for key, result in self._results.items():
+            yield {
+                "key": key,
+                "spec": self._specs.get(key) or None,
+                "result": result_to_dict(result),
+            }
+        for key, failure in self._failures.items():
+            if not shadowed_failures and key in self._results:
+                continue
+            yield {"key": key, "spec": None, "failure": failure}
+
+    def bulk_load(self, rows: Iterable[dict]) -> tuple[int, int]:
+        """Batched append: every row in one locked write pass with a
+        single trailing fsync — the per-row fsync of :meth:`put` priced
+        once for imports that land thousands of rows at a time."""
+        n_results = n_failures = 0
+        lines: list[bytes] = []
+        for row in rows:
+            key = row["key"]
+            if "result" in row:
+                self._results[key] = result_from_dict(row["result"])
+                self._specs[key] = row.get("spec") or {}
+                self._failures.pop(key, None)
+                n_results += 1
+            else:
+                self._failures[key] = row["failure"]
+                n_failures += 1
+            lines.append(
+                (json.dumps(row, sort_keys=True) + "\n").encode("utf-8")
+            )
+        if self.path is None or not lines:
+            return n_results, n_failures
+        with self._locked():
+            fd = os.open(
+                self.path, os.O_RDWR | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            try:
+                if tail_torn(fd):
+                    os.write(fd, b"\n")
+                os.write(fd, b"".join(lines))
+                os.fsync(fd)
+            finally:
+                os.close(fd)
+        return n_results, n_failures
+
+
+# ----------------------------------------------------------------------
+# The facade
+# ----------------------------------------------------------------------
+
+
+class ResultStore:
+    """Keyed store of simulation results, optionally backed by a file.
+
+    Args:
+        path: ``None`` for a purely in-memory store; otherwise a
+            directory (a store file is created inside, named for the
+            backend) or an explicit store-file path.
+        backend: force a backend kind (``jsonl`` / ``sqlite``); by
+            default the path suffix, an existing store file in the
+            directory, or ``REPRO_STORE_BACKEND`` decides (see
+            :func:`resolve_backend`).
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path, None] = None,
+        backend: Optional[str] = None,
+    ) -> None:
+        if path is None:
+            if backend not in (None, "jsonl"):
+                raise ConfigurationError(
+                    "an in-memory store (path=None) is dict-backed; "
+                    "backend selection needs a persistent path"
+                )
+            self._impl: StoreBackend = JsonlBackend(None)
+        else:
+            kind = resolve_backend(path, backend)
+            file = resolve_store_path(path, kind)
+            if kind == "sqlite":
+                from repro.exp.store_sqlite import SqliteBackend
+
+                self._impl = SqliteBackend(file)
+            else:
+                self._impl = JsonlBackend(file)
+        #: Populated by the initial load of a persistent store.
+        self.load_report = self._impl.load()
+
+    @property
+    def path(self) -> Optional[Path]:
+        """Backing store file (``None`` for in-memory stores)."""
+        return self._impl.path
+
+    @property
+    def backend(self) -> str:
+        """Backend kind (``jsonl`` / ``sqlite``; ``memory`` if no path)."""
+        if self._impl.path is None:
+            return "memory"
+        return self._impl.kind
+
+    @property
+    def schema_version(self) -> int:
+        """On-disk schema version of the active backend."""
+        return self._impl.schema_version
+
+    @property
+    def quarantine_path(self) -> Optional[Path]:
+        """Sidecar file corrupt lines are quarantined to (JSONL only;
+        the SQLite backend quarantines into its own table)."""
+        return getattr(self._impl, "quarantine_path", None)
+
+    @property
+    def lock_path(self) -> Optional[Path]:
+        """Sidecar lockfile serialising appends (JSONL only; SQLite
+        uses the database's own locking)."""
+        return getattr(self._impl, "lock_path", None)
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The stored result for a spec key, or ``None``."""
+        return self._impl.get(key)
+
+    def spec_info(self, key: str) -> Optional[dict]:
+        """The spec dict recorded with a result (provenance), if any."""
+        return self._impl.spec_info(key)
+
+    def failure_info(self, key: str) -> Optional[dict]:
+        """The live failure record for a spec key, if any.
+
+        Cleared by a later successful ``put`` for the same key. Never
+        served as a cache hit — a resumed campaign retries failed specs.
+        """
+        return self._impl.failure_info(key)
+
+    def failures(self) -> dict[str, dict]:
+        """All live failure records, keyed by spec key."""
+        return self._impl.failures()
+
+    def put(self, key: str, result: SimulationResult, spec=None) -> None:
+        """Record a result; persists immediately when backed by a file.
+
+        ``spec`` (an :class:`~repro.exp.spec.ExperimentSpec` or a plain
+        dict) is stored alongside purely for human inspection of the
+        store — lookups only ever use ``key``.
+        """
+        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        self._impl.put(key, result, spec_payload)
+
+    def put_failure(self, key: str, failure: dict, spec=None) -> None:
+        """Record a structured failure row (spec exhausted its retries).
+
+        ``failure`` should carry at least ``kind`` (``error`` /
+        ``worker-death`` / ``timeout``), ``error`` and ``attempts`` —
+        the :class:`~repro.exp.runner.Runner` builds these.
+        """
+        spec_payload = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        self._impl.put_failure(key, failure, spec_payload)
+
+    def export_rows(self) -> Iterator[dict]:
+        """Live rows in first-insertion order (canonical row dicts)."""
+        return self._impl.export_rows()
+
+    def bulk_load(self, rows: Iterable[dict]) -> tuple[int, int]:
+        """Batched import of canonical row dicts; the write path behind
+        :func:`migrate_store` and the store benchmark harness."""
+        return self._impl.bulk_load(rows)
+
+    def quarantine_lines(self) -> list[str]:
+        """Quarantined raw lines (sidecar file or ``quarantine`` table)."""
+        return self._impl.quarantine_lines()
+
+    def add_quarantine(self, lines: Iterable[str]) -> int:
+        """Record quarantined lines (deduplicated); returns new count."""
+        return self._impl.add_quarantine(lines)
+
+    def close(self) -> None:
+        """Release backend handles (needed for SQLite on Windows; a
+        no-op for JSONL)."""
+        self._impl.close()
+
+    def __contains__(self, key: str) -> bool:
+        return self._impl.contains(key)
+
+    def __len__(self) -> int:
+        return self._impl.count()
+
+    def keys(self) -> Iterator[str]:
+        """All stored spec keys."""
+        return self._impl.keys()
+
+    def results(self) -> Iterator[SimulationResult]:
+        """All stored results."""
+        return self._impl.results()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        where = str(self._path) if self._path else "memory"
-        return f"ResultStore({len(self)} results, {where})"
+        where = str(self.path) if self.path else "memory"
+        return f"ResultStore({len(self)} results, {self.backend}, {where})"
 
 
 def _parse_row(line: str) -> Optional[dict]:
@@ -380,7 +788,8 @@ def _parse_row(line: str) -> Optional[dict]:
 
 @dataclass
 class StoreAudit:
-    """Line-level health report of a JSONL store file."""
+    """Health report of a store file (line-level for JSONL, row-level
+    plus ``PRAGMA integrity_check`` for SQLite)."""
 
     path: Path
     lines: int = 0
@@ -393,8 +802,16 @@ class StoreAudit:
     #: Live failure rows (keys with a failure and no later result).
     live_failures: int = 0
     #: Rows (result or failure) a later line supersedes — reclaimable
-    #: by compaction, together with corrupt and blank lines.
+    #: by compaction, together with corrupt and blank lines. Always 0
+    #: for SQLite (the UNIQUE key index upserts in place).
     superseded: int = 0
+    #: Backend that produced this audit.
+    backend: str = "jsonl"
+    #: On-disk schema version of the audited store.
+    schema_version: int = JSONL_SCHEMA_VERSION
+    #: ``PRAGMA integrity_check`` verdict for SQLite ("ok" for JSONL,
+    #: whose integrity is the line scan itself).
+    integrity: str = "ok"
 
     @property
     def clean(self) -> bool:
@@ -407,14 +824,21 @@ class StoreAudit:
         return self.blank + self.corrupt + self.superseded
 
 
-def audit_store(path: Union[str, Path]) -> StoreAudit:
-    """Scan a store file line by line and report its health.
+def audit_store(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> StoreAudit:
+    """Scan a store and report its health without modifying anything.
 
-    Unlike :class:`ResultStore`, this never loads results into memory
-    objects and never writes anything — it is the read-only half of
-    ``repro store verify``.
+    For JSONL this never loads results into memory objects — it is the
+    read-only half of ``repro store verify``. For SQLite it validates
+    every row payload and runs ``PRAGMA integrity_check``.
     """
-    path = resolve_store_path(path)
+    kind = resolve_backend(path, backend)
+    if kind == "sqlite":
+        from repro.exp.store_sqlite import audit_sqlite
+
+        return audit_sqlite(_resolve_sqlite(path))
+    path = _resolve_jsonl(path, DEFAULT_BASENAMES["jsonl"])
     audit = StoreAudit(path=path)
     last_kind: dict[str, str] = {}  # key -> "result" | "failure"
     counts: dict[str, int] = {}
@@ -446,41 +870,41 @@ def audit_store(path: Union[str, Path]) -> StoreAudit:
     return audit
 
 
-def compact_store(path: Union[str, Path]) -> tuple[StoreAudit, int]:
-    """Rewrite a store file keeping only live rows.
+def compact_store(
+    path: Union[str, Path], backend: Optional[str] = None
+) -> tuple[StoreAudit, int]:
+    """Garbage-collect a store, keeping only live rows.
 
-    Keeps the last result row per key, plus the last failure row for
-    keys that never succeeded; drops superseded history, blank lines,
-    and corrupt lines (corrupt lines are first copied to the
+    JSONL: keeps the last result row per key, plus the last failure row
+    for keys that never succeeded; drops superseded history, blank
+    lines, and corrupt lines (corrupt lines are first copied to the
     ``.quarantine`` sidecar, so compaction never destroys evidence).
     The rewrite goes to a temp file in the same directory, is fsync'd,
     and replaces the original atomically under the writer lock.
 
-    Returns ``(audit of the file before compaction, rows written)``.
+    SQLite: re-upserts every valid row (proving idempotence of the
+    UNIQUE-key upsert), quarantines rows whose payload no longer
+    parses, checkpoints the WAL and vacuums.
+
+    Returns ``(audit of the store before compaction, rows kept)``.
     """
-    path = resolve_store_path(path)
+    kind = resolve_backend(path, backend)
+    if kind == "sqlite":
+        from repro.exp.store_sqlite import compact_sqlite
+
+        return compact_sqlite(_resolve_sqlite(path))
+    path = _resolve_jsonl(path, DEFAULT_BASENAMES["jsonl"])
     audit = audit_store(path)
     if not path.exists():
         return audit, 0
-    # Reuse the store's lock + quarantine machinery; its own load pass
-    # quarantines corrupt lines and resolves last-wins per key.
-    store = ResultStore.__new__(ResultStore)
-    store._results, store._specs, store._failures = {}, {}, {}
-    store._path = path
-    store._load()
-    live: list[dict] = []
-    for key, result in store._results.items():
-        live.append(
-            {
-                "key": key,
-                "spec": store._specs.get(key) or None,
-                "result": result_to_dict(result),
-            }
-        )
-    for key, failure in store._failures.items():
-        live.append({"key": key, "spec": None, "failure": failure})
+    # The backend's own load pass quarantines corrupt lines and
+    # resolves last-wins per key; shadowed failure rows (a failure whose
+    # key also has a result) are legal history and are kept.
+    impl = JsonlBackend(path)
+    impl.load()
+    live = list(impl.export_rows(shadowed_failures=True))
     tmp = path.with_name(path.name + ".compact.tmp")
-    with store._locked():
+    with impl._locked():
         with tmp.open("w", encoding="utf-8") as fh:
             for row in live:
                 fh.write(json.dumps(row, sort_keys=True) + "\n")
@@ -488,3 +912,72 @@ def compact_store(path: Union[str, Path]) -> tuple[StoreAudit, int]:
             os.fsync(fh.fileno())
         os.replace(tmp, path)
     return audit, len(live)
+
+
+# ----------------------------------------------------------------------
+# Migration: `repro store migrate <src> <dst>`
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class MigrationReport:
+    """What :func:`migrate_store` moved."""
+
+    src: Path
+    dst: Path
+    src_backend: str
+    dst_backend: str
+    results: int = 0
+    failures: int = 0
+    quarantined: int = 0
+
+
+def migrate_store(
+    src: Union[str, Path],
+    dst: Union[str, Path],
+    *,
+    src_backend: Optional[str] = None,
+    dst_backend: Optional[str] = None,
+) -> MigrationReport:
+    """Copy a store between backends (either direction, or same-kind).
+
+    Result rows survive byte-identically: every row crosses as its
+    canonical dict, so re-exporting the destination yields the same
+    canonical JSON lines the source held. Quarantined lines migrate
+    too (sidecar file <-> ``quarantine`` table), so corruption evidence
+    is never lost in a format change. The destination may already
+    exist; rows upsert with the store's normal last-wins semantics, so
+    re-running a migration is idempotent.
+
+    Raises:
+        ConfigurationError: when the source store does not exist, or
+            source and destination resolve to the same file.
+    """
+    src_kind = resolve_backend(src, src_backend)
+    dst_kind = resolve_backend(dst, dst_backend)
+    src_file = resolve_store_path(src, src_kind)
+    dst_file = resolve_store_path(dst, dst_kind)
+    if not src_file.exists():
+        raise ConfigurationError(f"no store to migrate at {src_file}")
+    if src_file.resolve() == dst_file.resolve():
+        raise ConfigurationError(
+            f"migration source and destination are the same file "
+            f"({src_file}); pick a different destination"
+        )
+    source = ResultStore(src_file, backend=src_kind)
+    dest = ResultStore(dst_file, backend=dst_kind)
+    try:
+        n_results, n_failures = dest.bulk_load(source.export_rows())
+        quarantined = dest.add_quarantine(source.quarantine_lines())
+    finally:
+        dest.close()
+        source.close()
+    return MigrationReport(
+        src=src_file,
+        dst=dst_file,
+        src_backend=src_kind,
+        dst_backend=dst_kind,
+        results=n_results,
+        failures=n_failures,
+        quarantined=quarantined,
+    )

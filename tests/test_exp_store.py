@@ -17,6 +17,15 @@ from repro.exp import (
 from repro.sim.results import SimulationResult
 
 
+@pytest.fixture(autouse=True)
+def _pin_jsonl_backend(monkeypatch):
+    """This module tests the JSONL backend's on-disk format (line
+    layout, sidecars, torn tails), so the CI sqlite matrix leg must not
+    redirect its directory-path stores. Cross-backend behavior lives in
+    test_store_backends.py."""
+    monkeypatch.setenv("REPRO_STORE_BACKEND", "jsonl")
+
+
 def make_result(variant="base", cycles=1000):
     return SimulationResult(
         variant=variant,

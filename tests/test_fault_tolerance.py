@@ -145,7 +145,12 @@ class TestTornWrites:
         """torn_write:1@1 tears the first append of every key. The sweep
         itself still succeeds (results are in memory); the next store
         open quarantines the fragments; a fault-free rerun re-derives
-        the rows around the healed tail; compaction scrubs the file."""
+        the rows around the healed tail; compaction scrubs the file.
+
+        Pinned to the jsonl backend: a torn append is physically
+        impossible under the sqlite backend's WAL (commits are atomic),
+        so the fault kind only applies here."""
+        monkeypatch.setenv("REPRO_STORE_BACKEND", "jsonl")
         monkeypatch.setenv("REPRO_FAULT", "torn_write:1@1")
         specs = specs_for(smoke_tpcc)
         runner = Runner(store=ResultStore(tmp_path), jobs=2, backoff=0.01)

@@ -16,6 +16,7 @@ from repro.exp import (
     figure_names,
     get_figure,
     register_figure,
+    resolve_store_path,
     select_figures,
 )
 from repro.exp.figures import FIGURE_WORKLOADS
@@ -166,7 +167,10 @@ class TestPaperCommand:
         assert (tmp_path / "report" / "fig8-dilution.md").exists()
         assert (tmp_path / "report" / "fig8-dilution.csv").exists()
         assert (tmp_path / "report" / "index.md").exists()
-        assert (tmp_path / "report" / "results.jsonl").exists()
+        # The store file is named for whichever backend is active
+        # (results.jsonl by default, results.sqlite under the CI
+        # sqlite matrix leg).
+        assert resolve_store_path(tmp_path / "report").exists()
 
         # Second invocation: everything served from the store.
         assert main(argv) == 0
