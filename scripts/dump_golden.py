@@ -13,7 +13,11 @@ performance PR. Run from the repo root:
 
 ``--out DIR`` writes elsewhere (the CI golden-freshness job regenerates
 into a temp dir and diffs against ``tests/golden/`` so stale pins cannot
-merge silently).
+merge silently). The specs here leave ``kernel="auto"``, so
+``REPRO_KERNEL=specialized`` (or ``=batch``) regenerates the whole grid
+through an alternative replay kernel — CI's golden-freshness matrix
+uses exactly that to pin every kernel byte-identical, and
+``REPRO_NO_SPECIALIZE=1`` covers the escape hatch.
 """
 
 from __future__ import annotations

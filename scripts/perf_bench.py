@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import sys
 import time
@@ -52,6 +53,61 @@ from repro.workloads import standard_trace  # noqa: E402
 DEFAULT_BENCH_VARIANTS = list(VARIANTS) + ["tmi"]
 
 
+def host_metadata() -> dict:
+    """CPU model, core count and platform of the measuring machine.
+
+    Recorded in every bench document so BENCH_<n> files are comparable
+    across machines (absolute rec/s only means anything next to the
+    hardware that produced it; ratios within one file stay the
+    machine-independent signal).
+    """
+    cpu_model = ""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "cpu_model": cpu_model or platform.processor() or "unknown",
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
+def profile_hotspots(trace, config: SimConfig, top: int = 15) -> list[dict]:
+    """cProfile one simulation; the top-``top`` cumulative hotspots.
+
+    Rows carry the same fields a ``pstats`` line would (call counts,
+    tottime, cumtime) so future perf PRs start from measured
+    attribution instead of guesses.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    simulate(trace, config=config)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows = []
+    for func in stats.fcn_list[:top]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, lineno, name = func
+        rows.append(
+            {
+                "function": f"{Path(filename).name}:{lineno}({name})",
+                "ncalls": nc,
+                "tottime": round(tt, 4),
+                "cumtime": round(ct, 4),
+            }
+        )
+    return rows
+
+
 def bench(
     workload: str,
     scale: ScalePreset,
@@ -59,11 +115,14 @@ def bench(
     repeat: int,
     seed: int,
     kernel: str = "auto",
+    profile: bool = False,
 ) -> dict:
     """Measure every variant; returns the result document.
 
-    ``kernel`` forces a replay kernel (``batch``/``inline``/
-    ``fallback``); the default ``auto`` is the engine's own selection.
+    ``kernel`` forces a replay kernel (``batch``/``specialized``/
+    ``inline``/``fallback``); the default ``auto`` is the engine's own
+    selection. ``profile`` additionally cProfiles one (untimed) run per
+    variant and records the top-15 cumulative hotspots.
     Each measurement row records the kernel the engine actually ran
     (``auto`` resolves per config), so baselines pin *which* code path
     their numbers describe and a regression can be blamed on the right
@@ -82,6 +141,7 @@ def bench(
         "repeat": repeat,
         "kernel": kernel,
         "python": platform.python_version(),
+        "host": host_metadata(),
         "variants": {},
     }
     for variant in variants:
@@ -97,11 +157,14 @@ def bench(
             t0 = time.perf_counter()
             simulate(trace, config=config)
             best = min(best, time.perf_counter() - t0)
-        doc["variants"][variant] = {
+        row = {
             "seconds": round(best, 4),
             "records_per_sec": round(records / best),
             "kernel": used,
         }
+        if profile:
+            row["profile"] = profile_hotspots(trace, config)
+        doc["variants"][variant] = row
         print(
             f"{workload}/{variant:>9} [{used}]: {best:7.3f}s  "
             f"{records / best / 1e3:8.1f} krec/s",
@@ -202,9 +265,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--kernel",
         default="auto",
-        choices=["auto", "batch", "inline", "fallback"],
+        choices=["auto", "batch", "specialized", "inline", "fallback"],
         help="force a replay kernel; auto is the engine's own selection "
         "(the kernel actually used is recorded per measurement)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="cProfile one extra (untimed) run per variant and record "
+        "the top-15 cumulative hotspots under the variant's 'profile' "
+        "key",
     )
     parser.add_argument("--out", type=Path, help="write results as JSON")
     parser.add_argument(
@@ -226,6 +296,7 @@ def main(argv: list[str] | None = None) -> int:
             "repeat": args.repeat,
             "kernel": args.kernel,
             "python": platform.python_version(),
+            "host": host_metadata(),
             "workloads": {
                 workload: bench(
                     workload,
@@ -234,6 +305,7 @@ def main(argv: list[str] | None = None) -> int:
                     args.repeat,
                     args.seed,
                     args.kernel,
+                    args.profile,
                 )
                 for workload in workloads
             },
@@ -246,6 +318,7 @@ def main(argv: list[str] | None = None) -> int:
             args.repeat,
             args.seed,
             args.kernel,
+            args.profile,
         )
     if args.out:
         args.out.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -125,6 +125,28 @@ def resume_scan(store: ResultStore, sample: list[str]) -> float:
     return seconds
 
 
+def host_metadata() -> dict:
+    """CPU model, core count and platform of the measuring machine (the
+    same shape scripts/perf_bench.py records) — store numbers are as
+    machine-dependent as engine numbers."""
+    import os
+
+    cpu_model = ""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    cpu_model = line.split(":", 1)[1].strip()
+                    break
+    except OSError:
+        pass
+    return {
+        "cpu_model": cpu_model or platform.processor() or "unknown",
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+    }
+
+
 def bench(n: int, workdir: Path, repeat: int) -> dict:
     """Measure both backends at N rows (plus SQLite at N/10 for the
     sublinearity gate); returns the result document."""
@@ -136,6 +158,7 @@ def bench(n: int, workdir: Path, repeat: int) -> dict:
         "rows": n,
         "repeat": repeat,
         "python": platform.python_version(),
+        "host": host_metadata(),
         "backends": {},
     }
 

@@ -9,6 +9,7 @@ Commands
 ``queue``   enqueue / drain a durable multi-worker sweep queue
 ``store``   verify / compact / migrate a result store (jsonl or sqlite)
 ``info``    show workload and machine parameters
+``kernel``  explain replay-kernel selection for a config
 
 Exit codes
 ----------
@@ -602,6 +603,85 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _kernel_rows(engine) -> list[list[str]]:
+    """Eligibility table rows for every selectable kernel of one
+    constructed engine (inline/fallback are always available)."""
+    import os
+
+    from repro.sim.batch import numpy_available
+
+    rows = [
+        ["inline", "ok (always available)"],
+        ["fallback", "ok (always available)"],
+    ]
+    if os.environ.get("REPRO_NO_BATCH"):
+        batch = "vetoed (REPRO_NO_BATCH is set)"
+    elif not numpy_available():
+        batch = "unavailable (numpy missing)"
+    else:
+        blockers = engine._batch_blockers()
+        batch = "ineligible: " + "; ".join(blockers) if blockers else "ok"
+    rows.append(["batch", batch])
+    if os.environ.get("REPRO_NO_SPECIALIZE"):
+        spec = "vetoed (REPRO_NO_SPECIALIZE is set)"
+    else:
+        blockers = engine._specialize_blockers()
+        spec = "ineligible: " + "; ".join(blockers) if blockers else "ok"
+    rows.append(["specialized", spec])
+    return rows
+
+
+def _cmd_kernel_explain(args: argparse.Namespace) -> int:
+    import dataclasses
+    import os
+
+    from repro.sim.engine import ReplayEngine, SimConfig
+    from repro.workloads import standard_trace
+
+    target = args.spec
+    if Path(target).suffix == ".json" or Path(target).is_file():
+        from repro.exp.specfile import load_spec_file
+
+        specs, baseline = load_spec_file(target)
+        if baseline is not None:
+            specs = specs + [baseline]
+        configs: list = []
+        seen: set = set()
+        for spec in specs:
+            config = spec.canonical_config()
+            if repr(config) not in seen:
+                seen.add(repr(config))
+                configs.append((spec.label or config.variant, config))
+    elif target in policy_names():
+        configs = [(target, SimConfig(variant=target))]
+    else:
+        raise ConfigurationError(
+            f"{target!r} is neither a registered variant "
+            f"({policy_names()}) nor a spec file"
+        )
+
+    # Blockers are structural (policy flags + cache geometry), so a
+    # smoke trace is enough to construct the probe engines.
+    trace = standard_trace("tpcc-1", ScalePreset.SMOKE, seed=3)
+    env = os.environ.get("REPRO_KERNEL", "").strip()
+    for label, config in configs:
+        resolved = ReplayEngine(
+            trace, dataclasses.replace(config, kernel="auto")
+        ).kernel
+        probe = ReplayEngine(
+            trace, dataclasses.replace(config, kernel="inline")
+        )
+        note = f" (REPRO_KERNEL={env})" if env else ""
+        print(
+            format_table(
+                ["kernel", "eligibility"],
+                _kernel_rows(probe),
+                title=f"{label}: auto resolves to {resolved!r}{note}",
+            )
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -882,6 +962,27 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="show workload parameters")
     _add_common(info)
     info.set_defaults(func=_cmd_info)
+
+    kernel = sub.add_parser(
+        "kernel",
+        help="inspect replay-kernel selection for a config",
+    )
+    ksub = kernel.add_subparsers(dest="action", required=True)
+    k_explain = ksub.add_parser(
+        "explain",
+        help="show what kernel='auto' resolves to and per-kernel "
+        "eligibility/blockers",
+        description="For a registered variant name or an exp spec file, "
+        "print which replay kernel kernel='auto' resolves to (honouring "
+        "REPRO_KERNEL / REPRO_NO_BATCH / REPRO_NO_SPECIALIZE) and, for "
+        "each selectable kernel, whether an explicit request would be "
+        "honoured or why it would raise.",
+    )
+    k_explain.add_argument(
+        "spec",
+        help="a registered variant name, or a JSON exp spec file",
+    )
+    k_explain.set_defaults(func=_cmd_kernel_explain)
     return parser
 
 

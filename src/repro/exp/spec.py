@@ -135,7 +135,8 @@ class ExperimentSpec:
             if name not in relevant
         }
         if config.kernel != _DEFAULT_CONFIG.kernel:
-            # The replay kernel (batch/inline/fallback) never affects
+            # The replay kernel (batch/specialized/inline/fallback)
+            # never affects
             # results — all kernels are pinned byte-identical — so it
             # must not fragment the result store.
             overrides["kernel"] = _DEFAULT_CONFIG.kernel

@@ -99,6 +99,16 @@ class SchedulingPolicy:
     #: blockers (prefetchers, classifiers, NUCA, non-LRU L1 policies)
     #: are detected separately — see ``ReplayEngine._batch_blockers``.
     batch_kernel_safe: ClassVar[bool] = True
+    #: The per-config generated kernel (``sim/specialize.py``) folds
+    #: this policy's capability flags into straight-line code — in
+    #: particular the scheduling tail assumes SLICC-machinery hooks only
+    #: ever stage real core targets (the ``-1`` context-switch sentinel
+    #: is folded to the STEPS arm alone). True for every registered
+    #: policy; clear it on a future policy whose hooks break a folded
+    #: assumption and the engine keeps it on the inline loop. Structural
+    #: blockers (non-LRU L1 policies) are detected separately — see
+    #: ``ReplayEngine._specialize_blockers``.
+    specialize_safe: ClassVar[bool] = True
 
     #: SimConfig fields (from :data:`POLICY_GATED_FIELDS`) that influence
     #: results under this policy; see the module docstring.

@@ -145,9 +145,14 @@ class SimConfig:
     #: auto never silently regresses a run. ``"batch"`` opts into the
     #: batch kernel explicitly (raising on an ineligible config — see
     #: :meth:`ReplayEngine._batch_blockers` — or when numpy is missing
-    #: or ``REPRO_NO_BATCH=1`` is set); ``"inline"`` forces the inline
-    #: loop; ``"fallback"`` routes every record through the generic
-    #: ``_process_instruction`` / ``_process_data`` reference path. All
+    #: or ``REPRO_NO_BATCH=1`` is set); ``"specialized"`` opts into the
+    #: per-config generated kernel (``sim/specialize.py``; raising on an
+    #: ineligible config — see :meth:`ReplayEngine._specialize_blockers`
+    #: — or when ``REPRO_NO_SPECIALIZE=1`` is set); ``"inline"`` forces
+    #: the inline loop; ``"fallback"`` routes every record through the
+    #: generic ``_process_instruction`` / ``_process_data`` reference
+    #: path. ``REPRO_KERNEL=<name>`` re-resolves ``"auto"`` fleet-wide
+    #: (falling back silently to inline on ineligible configs). All
     #: kernels are byte-identical; the choice never affects results (and
     #: is excluded from experiment store keys — see ``exp/spec.py``).
     kernel: str = "auto"
@@ -159,10 +164,12 @@ class SimConfig:
             )
         if self.quantum <= 0:
             raise ConfigurationError("quantum must be positive")
-        if self.kernel not in ("auto", "batch", "inline", "fallback"):
+        if self.kernel not in (
+            "auto", "batch", "specialized", "inline", "fallback"
+        ):
             raise ConfigurationError(
                 f"unknown kernel {self.kernel!r}; "
-                "expected auto, batch, inline or fallback"
+                "expected auto, batch, specialized, inline or fallback"
             )
 
 
@@ -488,10 +495,15 @@ class ReplayEngine:
         # suite pins it; the choice is pure performance.
         self.kernel = self._select_kernel()
         self._batch = None
+        self._specialized = None
         if self.kernel == "batch":
             from repro.sim.batch import BatchKernel
 
             self._batch = BatchKernel(self)
+        elif self.kernel == "specialized":
+            from repro.sim.specialize import kernel_for_engine
+
+            self._specialized = kernel_for_engine(self)
         elif self.kernel == "fallback":
             self._fast_i = False
             self._fast_d = False
@@ -525,22 +537,90 @@ class ReplayEngine:
             reasons.append("non-LRU L1-D policy")
         return reasons
 
+    def _specialize_blockers(self) -> list[str]:
+        """Why this configuration cannot use the specialized kernel
+        (empty when eligible).
+
+        The generator (``repro.sim.specialize``) emits the inline loop
+        with only the age-counter LRU replacement arms — prefetchers,
+        classifiers, the banked NUCA L2 and the data prefetcher are all
+        generatable, so unlike the batch kernel none of them block. A
+        policy that clears the ``specialize_safe`` capability flag stays
+        on the inline loop (its hooks may violate the generated tail's
+        folded assumptions — see ``sched/base.py``).
+        """
+        reasons = []
+        if not self.policy.specialize_safe:
+            reasons.append(
+                f"policy {self.policy.name!r} clears specialize_safe"
+            )
+        if self.machine.l1i[0].policy.__class__ is not LruPolicy:
+            reasons.append("non-LRU L1-I policy")
+        if self.machine.l1d[0].policy.__class__ is not LruPolicy:
+            reasons.append("non-LRU L1-D policy")
+        return reasons
+
     def _select_kernel(self) -> str:
         """Resolve ``config.kernel`` to the kernel this run will use.
 
-        ``auto`` resolves to ``inline``: the batch kernel is an explicit
-        opt-in because it loses to the inline loop on the paper's
-        thrash-regime traces (the measured negative result documented in
-        ``sim/batch.py`` and DESIGN.md). An explicit ``batch`` request
-        is validated — ineligible configuration, missing numpy or a
-        ``REPRO_NO_BATCH=1`` veto each raise rather than silently
-        running a different kernel than the caller asked for.
+        ``auto`` resolves to ``inline``: both alternative kernels are
+        explicit opt-ins because neither beats the inline loop on the
+        paper's thrash-regime traces (batch *loses* — the measured
+        negative result in ``sim/batch.py``; specialized is a modest
+        win that stays under the roadmap bar — see ``sim/specialize.py``
+        and BENCH_10.json). ``REPRO_KERNEL=<name>`` re-resolves ``auto``
+        fleet-wide (CI runs the golden suite this way), falling back
+        *silently* to inline when the named kernel cannot run this
+        config — a fleet override must not break ineligible configs. An
+        explicit per-config ``batch``/``specialized`` request, by
+        contrast, is validated loudly: ineligible configuration, missing
+        numpy or a ``REPRO_NO_BATCH=1`` / ``REPRO_NO_SPECIALIZE=1`` veto
+        each raise rather than silently running a different kernel than
+        the caller asked for.
         """
         requested = self.config.kernel
-        if requested == "fallback":
-            return "fallback"
-        if requested != "batch":
-            return "inline"
+        if requested == "auto":
+            env = os.environ.get("REPRO_KERNEL", "").strip()
+            if not env or env == "auto":
+                return "inline"
+            if env == "batch":
+                from repro.sim.batch import numpy_available
+
+                if (
+                    os.environ.get("REPRO_NO_BATCH")
+                    or not numpy_available()
+                    or self._batch_blockers()
+                ):
+                    return "inline"
+                return "batch"
+            if env == "specialized":
+                if (
+                    os.environ.get("REPRO_NO_SPECIALIZE")
+                    or self._specialize_blockers()
+                ):
+                    return "inline"
+                return "specialized"
+            if env in ("inline", "fallback"):
+                return env
+            raise ConfigurationError(
+                f"unknown REPRO_KERNEL {env!r}; "
+                "expected auto, batch, specialized, inline or fallback"
+            )
+        if requested in ("fallback", "inline"):
+            return requested
+        if requested == "specialized":
+            if os.environ.get("REPRO_NO_SPECIALIZE"):
+                raise ConfigurationError(
+                    "kernel='specialized' requested but "
+                    "REPRO_NO_SPECIALIZE is set"
+                )
+            blockers = self._specialize_blockers()
+            if blockers:
+                raise ConfigurationError(
+                    "kernel='specialized' requested but the configuration "
+                    "is ineligible: " + "; ".join(blockers)
+                )
+            return "specialized"
         from repro.sim.batch import numpy_available
 
         if os.environ.get("REPRO_NO_BATCH"):
@@ -1027,6 +1107,18 @@ class ReplayEngine:
         self._ran = True
         self._pending_target: Optional[int] = None
         self._admit_threads(now=0)
+
+        if self._specialized is not None:
+            # Specialized kernel (PR 10): the whole main loop runs as a
+            # per-config generated function (repro.sim.specialize) —
+            # only admission above and collection below are shared.
+            self._specialized(self)
+            if self.completed != len(self.threads):
+                raise SimulationError(
+                    f"run ended with {self.completed}/{len(self.threads)} "
+                    "threads completed — scheduler deadlock"
+                )
+            return self._collect_results()
 
         quantum = self.config.quantum
         machine = self.machine

@@ -344,6 +344,12 @@ needs_batch = pytest.mark.skipif(
     not _BATCH_OK, reason="numpy unavailable or REPRO_NO_BATCH set"
 )
 
+_SPECIALIZED_OK = not os.environ.get("REPRO_NO_SPECIALIZE")
+
+needs_specialized = pytest.mark.skipif(
+    not _SPECIALIZED_OK, reason="REPRO_NO_SPECIALIZE set"
+)
+
 #: Policies the batch kernel cannot run (structural blockers); forcing
 #: kernel="batch" on them must raise, and auto keeps them inline.
 BATCH_INELIGIBLE = frozenset({"nextline"})
@@ -366,9 +372,10 @@ def _run_kernel(trace, variant: str, kernel: str) -> str:
 
 
 class TestKernelEquivalenceMatrix:
-    """Every registered policy × three workloads: the three kernels are
+    """Every registered policy × three workloads: the four kernels are
     byte-identical (the batch leg skips structurally ineligible
-    policies, whose batch request is pinned to raise below)."""
+    policies, whose batch request is pinned to raise below; the
+    specialized leg runs every policy — all ten are eligible)."""
 
     @pytest.mark.parametrize("workload", KERNEL_MATRIX_WORKLOADS)
     @pytest.mark.parametrize("variant", sorted(policy_names()))
@@ -379,13 +386,18 @@ class TestKernelEquivalenceMatrix:
         assert inline == fallback
         if _BATCH_OK and variant not in BATCH_INELIGIBLE:
             assert _run_kernel(trace, variant, "batch") == inline
+        if _SPECIALIZED_OK:
+            assert _run_kernel(trace, variant, "specialized") == inline
 
 
 class TestKernelSelection:
-    def test_auto_resolves_to_inline(self, matrix_trace):
+    def test_auto_resolves_to_inline(self, matrix_trace, monkeypatch):
         # The measured negative result: on the paper's thrash-regime
         # traces the batch kernel loses to the inline loop, so auto
-        # must never pick it (see sim/batch.py).
+        # must never pick it (see sim/batch.py). REPRO_KERNEL re-routes
+        # auto fleet-wide (the CI specialized leg), so pin the default
+        # resolution with the override cleared.
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
         engine = ReplayEngine(matrix_trace, SimConfig(variant="slicc"))
         assert engine.kernel == "inline"
         assert engine._batch is None
@@ -441,6 +453,7 @@ class TestKernelSelection:
                 matrix_trace, SimConfig(variant="base", kernel="batch")
             )
         # auto is unaffected: it never picks batch anyway.
+        monkeypatch.delenv("REPRO_KERNEL", raising=False)
         engine = ReplayEngine(matrix_trace, SimConfig(variant="base"))
         assert engine.kernel == "inline"
 
@@ -539,3 +552,159 @@ class TestBatchEntryPoints:
         assert list(a._map) == list(b._map)
         # accesses is bulk-added by the caller, not by access_pages.
         assert b.accesses == 0
+
+
+# ----------------------------------------------------------------------
+# PR 10: the per-config specialized (generated) kernel
+# ----------------------------------------------------------------------
+
+import dataclasses  # noqa: E402
+
+from repro.params import SystemParams  # noqa: E402
+from repro.sim import specialize  # noqa: E402
+
+
+def _non_lru_system() -> SystemParams:
+    system = SystemParams()
+    return dataclasses.replace(
+        system, l1d=dataclasses.replace(system.l1d, policy="srrip")
+    )
+
+
+class TestSpecializedSelection:
+    @needs_specialized
+    def test_explicit_specialized_honoured(self, matrix_trace):
+        engine = ReplayEngine(
+            matrix_trace, SimConfig(variant="slicc", kernel="specialized")
+        )
+        assert engine.kernel == "specialized"
+        assert engine._specialized is not None
+
+    def test_no_specialize_env_vetoes_forced(self, matrix_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_SPECIALIZE", "1")
+        with pytest.raises(ConfigurationError, match="REPRO_NO_SPECIALIZE"):
+            ReplayEngine(
+                matrix_trace,
+                SimConfig(variant="base", kernel="specialized"),
+            )
+        # auto is unaffected (and a fleet-wide REPRO_KERNEL=specialized
+        # override is silently neutralised by the veto).
+        monkeypatch.setenv("REPRO_KERNEL", "specialized")
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="base"))
+        assert engine.kernel == "inline"
+
+    def test_specialize_safe_flag_blocks(self, matrix_trace, monkeypatch):
+        # The veto raises before blockers are consulted; neutralise it
+        # so this test pins the blocker message under every CI leg.
+        monkeypatch.delenv("REPRO_NO_SPECIALIZE", raising=False)
+        cls = get_policy("base")
+        monkeypatch.setattr(cls, "specialize_safe", False)
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="base"))
+        assert "specialize_safe" in " ".join(engine._specialize_blockers())
+        with pytest.raises(ConfigurationError, match="specialize_safe"):
+            ReplayEngine(
+                matrix_trace,
+                SimConfig(variant="base", kernel="specialized"),
+            )
+
+    def test_non_lru_l1_blocks(self, matrix_trace, monkeypatch):
+        monkeypatch.delenv("REPRO_NO_SPECIALIZE", raising=False)
+        with pytest.raises(ConfigurationError, match="non-LRU L1-D"):
+            ReplayEngine(
+                matrix_trace,
+                SimConfig(
+                    variant="base",
+                    system=_non_lru_system(),
+                    kernel="specialized",
+                ),
+            )
+
+    @needs_specialized
+    def test_repro_kernel_env_resolves_auto(self, matrix_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "specialized")
+        engine = ReplayEngine(matrix_trace, SimConfig(variant="slicc"))
+        assert engine.kernel == "specialized"
+        # Explicit kernels keep their request under the override.
+        engine = ReplayEngine(
+            matrix_trace, SimConfig(variant="slicc", kernel="inline")
+        )
+        assert engine.kernel == "inline"
+
+    def test_repro_kernel_env_silent_fallback(self, matrix_trace, monkeypatch):
+        # A fleet override must not break ineligible configs: auto falls
+        # back to inline silently instead of raising.
+        monkeypatch.setenv("REPRO_KERNEL", "specialized")
+        engine = ReplayEngine(
+            matrix_trace,
+            SimConfig(variant="base", system=_non_lru_system()),
+        )
+        assert engine.kernel == "inline"
+
+    def test_repro_kernel_env_unknown_raises(self, matrix_trace, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL", "vectorised")
+        with pytest.raises(ConfigurationError, match="REPRO_KERNEL"):
+            ReplayEngine(matrix_trace, SimConfig(variant="base"))
+
+    def test_specialized_excluded_from_spec_keys(self):
+        from repro.exp.spec import ExperimentSpec
+
+        base = ExperimentSpec("tpcc-1", config=SimConfig(variant="slicc"))
+        forced = ExperimentSpec(
+            "tpcc-1",
+            config=SimConfig(variant="slicc", kernel="specialized"),
+        )
+        assert base.key() == forced.key()
+
+
+class TestSpecializedGeneration:
+    def _spec(self, matrix_trace, **kwargs) -> "specialize.KernelSpec":
+        engine = ReplayEngine(matrix_trace, SimConfig(**kwargs))
+        return specialize.spec_from_engine(engine)
+
+    def test_generated_source_deterministic(self, matrix_trace):
+        for kwargs in (
+            {"variant": "slicc"},
+            {"variant": "steps", "collect_miss_classes": True},
+            {"variant": "nextline", "model_l2_capacity": True},
+        ):
+            spec = self._spec(matrix_trace, **kwargs)
+            first = specialize.generate_source(spec)
+            assert first == specialize.generate_source(spec)
+            # A reconstructed engine yields the same spec, so the memo
+            # key is stable across engine instances.
+            assert spec == self._spec(matrix_trace, **kwargs)
+            compile(first, "<test>", "exec")
+
+    def test_spec_canonicalises_inapplicable_knobs(self, matrix_trace):
+        # Policies without SLICC machinery must not fragment the kernel
+        # cache on SLICC thresholds: the spec zeroes them out.
+        spec = self._spec(matrix_trace, variant="base")
+        assert not spec.has_slicc and spec.mc_limit == 0
+        assert spec.msv_window == 0 and spec.mtq_matched == 0
+
+    def test_kernel_memoised_per_spec(self, matrix_trace):
+        spec = self._spec(matrix_trace, variant="slicc")
+        assert specialize.kernel_for(spec) is specialize.kernel_for(spec)
+
+    def test_dump_env_writes_source(self, matrix_trace, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SPECIALIZE_DUMP", str(tmp_path))
+        spec = self._spec(matrix_trace, variant="slicc")
+        specialize.kernel_for(spec)
+        dumped = tmp_path / f"{specialize.signature(spec)}.py"
+        assert dumped.exists()
+        assert dumped.read_text() == specialize.generate_source(spec)
+
+    def test_aot_without_toolchain_falls_back(
+        self, matrix_trace, tmp_path, monkeypatch
+    ):
+        # No mypyc/Cython in the test environment: the AOT leg must fall
+        # back silently to the exec'd kernel and still run end-to-end.
+        monkeypatch.delenv("REPRO_NO_SPECIALIZE", raising=False)
+        monkeypatch.setenv("REPRO_SPECIALIZE_AOT", "1")
+        monkeypatch.setenv("REPRO_SPECIALIZE_CACHE", str(tmp_path))
+        specialize.clear_cache()
+        try:
+            inline = _run_kernel(matrix_trace, "slicc", "inline")
+            assert _run_kernel(matrix_trace, "slicc", "specialized") == inline
+        finally:
+            specialize.clear_cache()
